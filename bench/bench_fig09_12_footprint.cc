@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figs. 9 & 12: memory footprint and request concurrency of a single
+ * model mapped to Azure-trace popularity percentiles (P50..P99), under
+ * exclusive GPU serving. Paper: weights dominate at rest (14/26 GB for
+ * 7B/13B), peaks reach 12x under the top-1% function's bursts, yet the
+ * footprint stays below ~17/43 GB more than half of the time.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+
+using namespace slinfer;
+
+namespace
+{
+
+struct Usage
+{
+    double p50Gb, p99Gb, peakGb;
+    int peakConc;
+    CdfBuilder conc;
+};
+
+/** M/G/inf-style footprint process for one model's arrival stream. */
+Usage
+footprintFor(const std::vector<Seconds> &arrivals, const ModelSpec &m,
+             Seconds duration)
+{
+    Dataset ds(DatasetKind::AzureConv);
+    Rng rng(bench::kSeed);
+    // Request lifetime: GPU prefill + decode at a shared pace.
+    struct Live
+    {
+        Seconds end;
+        Tokens ctx;
+    };
+    std::vector<std::pair<Seconds, std::pair<Seconds, Tokens>>> reqs;
+    for (Seconds t : arrivals) {
+        LengthSample len = ds.sample(rng);
+        Seconds dur = 0.15 + 0.03 * static_cast<double>(len.output);
+        reqs.push_back({t, {t + dur, len.input + len.output}});
+    }
+    Usage u{};
+    CdfBuilder foot;
+    for (Seconds t = 0; t < duration; t += 1.0) {
+        Tokens ctx = 0;
+        int conc = 0;
+        for (const auto &[start, life] : reqs) {
+            if (start <= t && t < life.first) {
+                ++conc;
+                ctx += life.second;
+            }
+        }
+        double gb = (static_cast<double>(m.weightBytes()) +
+                     static_cast<double>(ctx) *
+                         static_cast<double>(m.kvBytesPerToken())) /
+                    1e9;
+        foot.add(gb);
+        if (conc > 0)
+            u.conc.add(conc);
+        u.peakConc = std::max(u.peakConc, conc);
+        u.peakGb = std::max(u.peakGb, gb);
+    }
+    u.p50Gb = foot.percentile(50.0);
+    u.p99Gb = foot.percentile(99.0);
+    return u;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Fig. 9 - per-model memory footprint by popularity");
+    AzureTraceConfig tc;
+    tc.numModels = 128;
+    tc.seed = bench::kSeed;
+    AzureTrace trace = generateAzureTrace(tc);
+
+    // Sort models by rate and pick the percentile representatives.
+    std::vector<std::pair<double, ModelId>> rates;
+    for (std::size_t i = 0; i < trace.perModelRpm.size(); ++i)
+        rates.push_back({trace.perModelRpm[i], static_cast<ModelId>(i)});
+    std::sort(rates.begin(), rates.end());
+
+    Table t({"class", "model", "p50 GB", "p99 GB", "peak GB",
+             "peak conc", "p50 GB", "p99 GB", "peak GB", "peak conc"});
+    printf("(left columns: Llama-2-7B; right: Llama-2-13B)\n");
+    Table conc_t({"class", "conc p50", "conc p90", "conc max"});
+    for (auto [label, pct] : std::initializer_list<
+             std::pair<const char *, double>>{{"P50", 0.50},
+                                              {"P80", 0.80},
+                                              {"P90", 0.90},
+                                              {"P95", 0.95},
+                                              {"P99", 0.99}}) {
+        ModelId id =
+            rates[static_cast<std::size_t>(pct * (rates.size() - 1))]
+                .second;
+        std::vector<Seconds> arr;
+        for (const Arrival &a : trace.arrivals)
+            if (a.model == id)
+                arr.push_back(a.time);
+        Usage u7 = footprintFor(arr, llama2_7b(), tc.duration);
+        Usage u13 = footprintFor(arr, llama2_13b(), tc.duration);
+        t.addRow({label, Table::num(static_cast<long long>(id)),
+                  Table::num(u7.p50Gb, 1), Table::num(u7.p99Gb, 1),
+                  Table::num(u7.peakGb, 1),
+                  Table::num(static_cast<long long>(u7.peakConc)),
+                  Table::num(u13.p50Gb, 1), Table::num(u13.p99Gb, 1),
+                  Table::num(u13.peakGb, 1),
+                  Table::num(static_cast<long long>(u13.peakConc))});
+        conc_t.addRow({label, Table::num(u7.conc.percentile(50.0), 0),
+                       Table::num(u7.conc.percentile(90.0), 0),
+                       Table::num(u7.conc.percentile(100.0), 0)});
+    }
+    t.print();
+    bench::note("paper: 7B needs >= 14 GB (weights) and stays below "
+                "~17 GB half the time even for the top-1% function; "
+                "peaks reach 169/263 GB under concurrency bursts");
+
+    printBanner("Fig. 12 - concurrency CDF by popularity class");
+    conc_t.print();
+    bench::note("paper: top-1% concurrency ranges 1..128+, tail classes "
+                "rarely exceed a handful");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figs. 10, 11, 28: host-CPU characterization of GPU-backed serving.
+ * These are host measurements in the paper; we print the calibrated
+ * analytic model documented in src/hw/host_cpu_model.hh.
+ */
+
+#include "bench_util.hh"
+#include "hw/host_cpu_model.hh"
+#include "hw/perf_model.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Fig. 10 - vLLM GPU decode throughput & host-CPU use");
+    Table t({"batch", "decode tok/s", "host cores"});
+    for (int b : {1, 2, 4, 8, 16, 32, 64}) {
+        double iter = PerfModel::decodeTime(a100_80g(), llama2_7b(), b,
+                                            1024);
+        t.addRow({Table::num(static_cast<long long>(b)),
+                  Table::num(b / iter, 0),
+                  Table::num(HostCpuModel::coreUsage(b), 2)});
+    }
+    t.print();
+    bench::note("paper: throughput rises with batch; CPU use never "
+                "exceeds one core");
+
+    printBanner("Fig. 11 - TPOT slowdown under background CPU stress");
+    Table t2({"stress procs", "TPOT (ms)", "slowdown"});
+    double base =
+        PerfModel::decodeTime(a100_80g(), llama2_7b(), 64, 1024) * 1e3;
+    for (int s : {0, 4, 8, 16, 32, 64}) {
+        double slow = HostCpuModel::stressSlowdown(s, 32);
+        t2.addRow({Table::num(static_cast<long long>(s)),
+                   Table::num(base * slow, 1), Table::num(slow, 3)});
+    }
+    t2.print();
+    bench::note("paper: 64 stress processes on 32 cores cost only ~4%");
+
+    printBanner("Fig. 28 - host-CPU use vs colocated models");
+    Table t3({"colocated", "total cores"});
+    for (int n : {1, 2, 4, 8})
+        t3.addRow({Table::num(static_cast<long long>(n)),
+                   Table::num(HostCpuModel::colocatedCoreUsage(n), 2)});
+    t3.print();
+    bench::note("paper: eight colocated instances use just over one "
+                "core (they take turns on the GPU)");
+    return 0;
+}

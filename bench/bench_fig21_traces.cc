@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 21: characterization of the 32/64/128-model Azure-style traces.
+ * Paper: 2366/4684/9266 total requests over 30 min (aggregate RPM
+ * 79/156/309); most models see a handful of requests per hour while
+ * the head is bursty.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Fig. 21 - Azure-style trace characterization");
+    Table t({"models", "total reqs", "paper", "agg RPM", "paper",
+             "median RPM", "top1% share", "top5% share"});
+    int paper_total[3] = {2366, 4684, 9266};
+    int paper_rpm[3] = {79, 156, 309};
+    int idx = 0;
+    for (int n : {32, 64, 128}) {
+        AzureTraceConfig tc;
+        tc.numModels = n;
+        tc.seed = bench::kSeed;
+        AzureTrace tr = generateAzureTrace(tc);
+        std::vector<double> rates = tr.perModelRpm;
+        std::sort(rates.begin(), rates.end());
+        t.addRow({Table::num(static_cast<long long>(n)),
+                  Table::num(static_cast<long long>(tr.totalRequests())),
+                  Table::num(static_cast<long long>(paper_total[idx])),
+                  Table::num(tr.aggregateRpm(tc.duration), 0),
+                  Table::num(static_cast<long long>(paper_rpm[idx])),
+                  Table::num(rates[rates.size() / 2], 2),
+                  Table::pct(tr.topShare(0.01)),
+                  Table::pct(tr.topShare(0.05))});
+        ++idx;
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 22 (the paper's headline end-to-end result): SLO-met requests,
+ * average nodes used, per-node decode speed and the TTFT CDF for the
+ * four systems across {3B, 7B, 13B} x {32, 64, 128} models on 4 CPU +
+ * 4 GPU nodes. Paper: at 128 models SLINFER improves SLO-met requests
+ * by 86-154% over sllm, 47-62% over sllm+c and 18-70% over sllm+c+s,
+ * while using fewer nodes at lower scales.
+ */
+
+#include "bench_util.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    SystemKind systems[4] = {SystemKind::Sllm, SystemKind::SllmC,
+                             SystemKind::SllmCS, SystemKind::Slinfer};
+    ModelSpec sizes[3] = {llama32_3b(), llama2_7b(), llama2_13b()};
+    const char *labels[3] = {"3B", "7B", "13B"};
+
+    for (int si = 0; si < 3; ++si) {
+        printBanner(std::string("Fig. 22") +
+                    static_cast<char>('a' + si) + " - " + labels[si] +
+                    "-sized models");
+        for (int n : {32, 64, 128}) {
+            Table t({"system", "SLO-met", "total", "CPU used",
+                     "GPU used", "dec spd CPU", "dec spd GPU",
+                     "p50 TTFT", "p95 TTFT"});
+            std::size_t sllm_met = 0;
+            std::size_t slinfer_met = 0;
+            for (SystemKind sys : systems) {
+                Report r = bench::runAzure(sys, sizes[si], n);
+                if (sys == SystemKind::Sllm)
+                    sllm_met = r.sloMet;
+                if (sys == SystemKind::Slinfer)
+                    slinfer_met = r.sloMet;
+                t.addRow({r.system,
+                          Table::num(static_cast<long long>(r.sloMet)),
+                          Table::num(static_cast<long long>(
+                              r.totalRequests)),
+                          Table::num(r.avgCpuNodesUsed, 1),
+                          Table::num(r.avgGpuNodesUsed, 1),
+                          Table::num(r.decodeSpeedCpu, 0),
+                          Table::num(r.decodeSpeedGpu, 0),
+                          Table::num(r.p50Ttft, 2),
+                          Table::num(r.p95Ttft, 2)});
+            }
+            std::printf("-- %s, %d models --\n", labels[si], n);
+            t.print();
+            if (sllm_met > 0) {
+                std::printf(
+                    "SLINFER vs sllm SLO-met: %+.0f%% (paper at 128 "
+                    "models: +86%% to +154%%)\n",
+                    100.0 * (static_cast<double>(slinfer_met) /
+                                 static_cast<double>(sllm_met) -
+                             1.0));
+            }
+        }
+    }
+    return 0;
+}

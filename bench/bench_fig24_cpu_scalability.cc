@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 24: starting from 2 GPU nodes (insufficient for 64 7B models),
+ * add CPU nodes vs GPU nodes. Paper: adding CPUs steadily raises the
+ * SLO-met count; roughly 3-4 CPUs match one GPU.
+ */
+
+#include "bench_util.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Fig. 24 - CPU scalability (64 x 7B, base: 2 GPUs)");
+    Table t({"added nodes", "SLO-met (add CPU)", "SLO-met (add GPU)",
+             "total"});
+    for (int add = 0; add <= 8; ++add) {
+        ClusterSpec cpu_cluster;
+        cpu_cluster.cpuNodes = add;
+        cpu_cluster.gpuNodes = 2;
+        Report rc = bench::runAzure(SystemKind::Slinfer, llama2_7b(), 64,
+                                    1800.0, cpu_cluster);
+        ClusterSpec gpu_cluster;
+        gpu_cluster.cpuNodes = 0;
+        gpu_cluster.gpuNodes = 2 + add;
+        Report rg = bench::runAzure(SystemKind::Slinfer, llama2_7b(), 64,
+                                    1800.0, gpu_cluster);
+        t.addRow({Table::num(static_cast<long long>(add)),
+                  Table::num(static_cast<long long>(rc.sloMet)),
+                  Table::num(static_cast<long long>(rg.sloMet)),
+                  Table::num(static_cast<long long>(rc.totalRequests))});
+    }
+    t.print();
+    bench::note("paper: capacity grows with each CPU; ~3-4 CPU nodes "
+                "match one GPU node");
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig. 30: keep-alive threshold sensitivity (0-8 s, 64 x 7B). Paper
+ * (counter-intuitively): longer keep-alive can *worsen* P95 TTFT —
+ * cold starts are already cheap while prolonged idle instances crowd
+ * out new placements. A short threshold (1 s) balances both.
+ */
+
+#include "bench_util.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Fig. 30 - keep-alive threshold sensitivity (64 x 7B)");
+    Table t({"keep-alive (s)", "sllm+c+s GPUs", "sllm+c+s p95 TTFT",
+             "SLINFER GPUs", "SLINFER p95 TTFT"});
+    for (double ka : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+        ControllerConfig ctl;
+        ctl.keepAlive = ka;
+        Report cs = bench::runAzure(SystemKind::SllmCS, llama2_7b(), 64,
+                                    1800.0, ClusterSpec{}, ctl);
+        Report sl = bench::runAzure(SystemKind::Slinfer, llama2_7b(), 64,
+                                    1800.0, ClusterSpec{}, ctl);
+        t.addRow({Table::num(ka, 0), Table::num(cs.avgGpuNodesUsed, 1),
+                  Table::num(cs.p95Ttft, 2),
+                  Table::num(sl.avgGpuNodesUsed, 1),
+                  Table::num(sl.p95Ttft, 2)});
+    }
+    t.print();
+    bench::note("paper: extending the threshold raises GPU usage and "
+                "can even worsen P95 TTFT (idle crowding)");
+    return 0;
+}

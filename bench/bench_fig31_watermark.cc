@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fig. 31: KV-cache scaling watermark sensitivity. Paper: watermark 0
+ * spends 11.3% of instance lifetime on resizes; 25% cuts that to 1.4%
+ * with migrations at 0-0.3%; larger watermarks only waste allocation.
+ */
+
+#include "bench_util.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Fig. 31 - KV scaling watermark sensitivity (48 x 7B)");
+    Table t({"watermark", "KV utilization", "scaling overhead",
+             "migration rate", "SLO rate"});
+    for (double w : {0.0, 0.10, 0.25, 0.50, 1.00}) {
+        ControllerConfig ctl;
+        ctl.watermark = w;
+        Report r = bench::runAzure(SystemKind::Slinfer, llama2_7b(), 48,
+                                   1800.0, ClusterSpec{}, ctl);
+        t.addRow({Table::pct(w), Table::pct(r.kvUtilization),
+                  Table::pct(r.scalingOverhead),
+                  Table::pct(r.migrationRate), Table::pct(r.sloRate)});
+    }
+    t.print();
+    bench::note("paper: overhead 11.3% at w=0, ~1.4% at w=25%; higher "
+                "watermarks only lower KV utilization");
+    return 0;
+}

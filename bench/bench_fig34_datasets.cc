@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 34: input/output length characterization of the five datasets.
+ */
+
+#include "bench_util.hh"
+#include "workload/dataset.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Fig. 34 - dataset length characterization");
+    Table t({"dataset", "in p50", "in mean", "in p99", "out p50",
+             "out mean", "out p99"});
+    for (DatasetKind kind :
+         {DatasetKind::AzureConv, DatasetKind::AzureCode,
+          DatasetKind::HumanEval, DatasetKind::ShareGPT,
+          DatasetKind::LongBench}) {
+        Dataset ds(kind);
+        Rng rng(bench::kSeed);
+        CdfBuilder in, out;
+        for (int i = 0; i < 50000; ++i) {
+            LengthSample s = ds.sample(rng);
+            in.add(static_cast<double>(s.input));
+            out.add(static_cast<double>(s.output));
+        }
+        t.addRow({ds.name(), Table::num(in.percentile(50.0), 0),
+                  Table::num(in.mean(), 0),
+                  Table::num(in.percentile(99.0), 0),
+                  Table::num(out.percentile(50.0), 0),
+                  Table::num(out.mean(), 0),
+                  Table::num(out.percentile(99.0), 0)});
+    }
+    t.print();
+    bench::note("paper Fig. 34: coding inputs longer than conversation; "
+                "ShareGPT has the longest outputs; LongBench inputs "
+                "reach 32K");
+    return 0;
+}

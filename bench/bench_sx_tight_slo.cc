@@ -1,0 +1,56 @@
+/**
+ * @file
+ * §IV-A2 limitation (3): CPU applicability under tight TPOT SLOs.
+ * Paper: at 100 ms only 7B-and-smaller fit with batch <= 9 (1K) / 3
+ * (4K); at 50 ms even 7B is infeasible. This bench sweeps the whole
+ * serving stack under the three SLO levels to show how the CPU's role
+ * collapses.
+ */
+
+#include "bench_util.hh"
+#include "hw/perf_model.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Tight-SLO analysis - CPU batch limits (§IV-A2)");
+    Table t({"TPOT SLO", "7B@1K", "7B@4K", "13B@1K", "3B@1K"});
+    HardwareSpec cpu = xeon6462c();
+    for (double tpot : {0.25, 0.10, 0.05}) {
+        auto lim = [&](const ModelSpec &m, Tokens len) {
+            int b = PerfModel::maxBatchWithinTpot(cpu, m, len, tpot);
+            return b == 0 ? std::string("-") : std::to_string(b);
+        };
+        t.addRow({Table::num(tpot * 1e3, 0) + " ms",
+                  lim(llama2_7b(), 1024), lim(llama2_7b(), 4096),
+                  lim(llama2_13b(), 1024), lim(llama32_3b(), 1024)});
+    }
+    t.print();
+    bench::note("paper: 100 ms => 7B batch <= 9 (1K) / 3 (4K); "
+                "50 ms => 7B infeasible");
+
+    printBanner("End-to-end under tight SLOs (48 x 7B, SLINFER)");
+    Table t2({"TPOT SLO", "SLO rate", "CPU used", "GPU used",
+              "CPU tokens share"});
+    for (double tpot : {0.25, 0.10, 0.05}) {
+        ControllerConfig ctl;
+        ctl.slo = tightSlo(tpot);
+        Report r = bench::runAzure(SystemKind::Slinfer, llama2_7b(), 48,
+                                   900.0, ClusterSpec{}, ctl);
+        double cpu_share =
+            r.decodeSpeedCpu * r.avgCpuNodesUsed /
+            std::max(1e-9, r.decodeSpeedCpu * r.avgCpuNodesUsed +
+                               r.decodeSpeedGpu * r.avgGpuNodesUsed);
+        t2.addRow({Table::num(tpot * 1e3, 0) + " ms",
+                   Table::pct(r.sloRate),
+                   Table::num(r.avgCpuNodesUsed, 1),
+                   Table::num(r.avgGpuNodesUsed, 1),
+                   Table::pct(cpu_share)});
+    }
+    t2.print();
+    bench::note("as the TPOT SLO tightens, SLINFER's profiling shifts "
+                "work off the CPUs onto the GPUs");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table I: Llama-2-7B on a 3rd-gen (no AMX) vs 4th-gen (AMX) Xeon.
+ * The roofline model is calibrated against exactly these numbers; this
+ * bench prints measured vs paper side by side.
+ */
+
+#include "bench_util.hh"
+#include "hw/perf_model.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Table I - Llama-2-7B across CPU generations");
+    ModelSpec m = llama2_7b();
+    HardwareSpec gen3 = xeon8369b();
+    HardwareSpec gen4 = xeon6462c();
+
+    double paper3[7] = {1003, 4113, 18612, 100, 338, 110, 697};
+    double paper4[7] = {149, 567, 2748, 71, 196, 80, 459};
+
+    auto measured = [&m](const HardwareSpec &hw, double out[7]) {
+        out[0] = PerfModel::prefillTime(hw, m, 256) * 1e3;
+        out[1] = PerfModel::prefillTime(hw, m, 1024) * 1e3;
+        out[2] = PerfModel::prefillTime(hw, m, 4096) * 1e3;
+        out[3] = PerfModel::decodeTime(hw, m, 1, 1024) * 1e3;
+        out[4] = PerfModel::decodeTime(hw, m, 32, 1024) * 1e3;
+        out[5] = PerfModel::decodeTime(hw, m, 1, 4096) * 1e3;
+        out[6] = PerfModel::decodeTime(hw, m, 32, 4096) * 1e3;
+    };
+    double got3[7], got4[7];
+    measured(gen3, got3);
+    measured(gen4, got4);
+
+    const char *cols[7] = {"TTFT-256", "TTFT-1K",   "TTFT-4K",
+                           "1bs-1K",   "32bs-1K",   "1bs-4K",
+                           "32bs-4K"};
+    Table t({"metric (ms)", "3rd paper", "3rd ours", "4th paper",
+             "4th ours", "speedup paper", "speedup ours"});
+    for (int i = 0; i < 7; ++i) {
+        t.addRow({cols[i], Table::num(paper3[i], 0),
+                  Table::num(got3[i], 0), Table::num(paper4[i], 0),
+                  Table::num(got4[i], 0),
+                  Table::num(paper3[i] / paper4[i], 1) + "x",
+                  Table::num(got3[i] / got4[i], 1) + "x"});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table II: aggregated concurrency limits when a node is statically
+ * split into 4x1/4, 3x1/3, 2x1/2 or kept whole. Paper: partitioning
+ * roughly halves the aggregate limit (e.g. G-7B-2K: 4x6 / 3x12 / 2x26
+ * / 66), which is why static sharing cannot absorb bursts.
+ */
+
+#include "bench_util.hh"
+#include "hw/perf_model.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    printBanner("Table II - concurrency limits under static splits");
+    SloSpec slo = defaultSlo();
+    struct Row
+    {
+        const char *name;
+        HardwareSpec hw;
+        ModelSpec m;
+        Tokens len;
+    };
+    Row rows[] = {
+        {"C-7B-2K", xeon6462c(), llama2_7b(), 2048},
+        {"C-7B-4K", xeon6462c(), llama2_7b(), 4096},
+        {"G-7B-2K", a100_80g(), llama2_7b(), 2048},
+        {"G-7B-4K", a100_80g(), llama2_7b(), 4096},
+        {"G-13B-2K", a100_80g(), llama2_13b(), 2048},
+        {"G-13B-4K", a100_80g(), llama2_13b(), 4096},
+    };
+    Table t({"scenario", "4 x 1/4", "3 x 1/3", "2 x 1/2", "whole"});
+    for (const Row &r : rows) {
+        std::vector<std::string> cells = {r.name};
+        for (double frac : {0.25, 1.0 / 3.0, 0.5, 1.0}) {
+            HardwareSpec part = scaledPartition(r.hw, frac);
+            int per = PerfModel::maxBatchWithinTpot(part, r.m, r.len,
+                                                    slo.tpot);
+            // Memory also caps concurrency on the split.
+            Bytes kv_space = part.memCapacity > r.m.weightBytes()
+                                 ? part.memCapacity - r.m.weightBytes()
+                                 : 0;
+            int mem_cap = static_cast<int>(
+                kv_space / (static_cast<Bytes>(r.len) *
+                            r.m.kvBytesPerToken()));
+            per = std::min(per, mem_cap);
+            int n = frac == 1.0 ? 1 : static_cast<int>(1.0 / frac + 0.5);
+            if (per <= 0) {
+                cells.push_back("-");
+            } else {
+                cells.push_back(std::to_string(n) + " x " +
+                                std::to_string(per) + " = " +
+                                std::to_string(n * per));
+            }
+        }
+        t.addRow(cells);
+    }
+    t.print();
+    bench::note("paper Table II: e.g. G-7B-2K = 4x6 / 3x12 / 2x26 / 66; "
+                "splits reach only ~half the whole-node concurrency");
+    return 0;
+}

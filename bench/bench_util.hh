@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: standard experiment
+ * runners plus printing of paper-expected vs measured values. Every
+ * bench regenerates the rows/series of one table or figure from the
+ * paper's evaluation; absolute numbers come from our simulated
+ * substrate, so the *shape* (who wins, rough factors, crossovers) is
+ * the claim being reproduced (see EXPERIMENTS.md).
+ */
+
+#ifndef SLINFER_BENCH_BENCH_UTIL_HH
+#define SLINFER_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace slinfer
+{
+namespace bench
+{
+
+/** Default trace seed used across benches (deterministic output). */
+inline constexpr std::uint64_t kSeed = 5;
+
+/** Run one system on an Azure-style trace of `numModels` replicas. */
+inline Report
+runAzure(SystemKind system, const ModelSpec &model, int numModels,
+         Seconds duration = 1800.0,
+         ClusterSpec cluster = ClusterSpec{},
+         ControllerConfig ctl = ControllerConfig{},
+         DatasetKind dataset = DatasetKind::AzureConv,
+         std::uint64_t seed = kSeed)
+{
+    ExperimentConfig cfg;
+    cfg.system = system;
+    cfg.cluster = cluster;
+    cfg.models = replicateModel(model, numModels);
+    AzureTraceConfig tc;
+    tc.numModels = numModels;
+    tc.duration = duration;
+    tc.seed = seed;
+    cfg.trace = generateAzureTrace(tc);
+    cfg.duration = duration;
+    cfg.controller = ctl;
+    cfg.dataset = dataset;
+    cfg.seed = seed;
+    return runExperiment(cfg);
+}
+
+/** Same but with an explicit per-model spec list (mixed deployments). */
+inline Report
+runMixed(SystemKind system, std::vector<ModelSpec> models,
+         Seconds duration, ClusterSpec cluster,
+         ControllerConfig ctl = ControllerConfig{},
+         DatasetKind dataset = DatasetKind::AzureConv,
+         std::uint64_t seed = kSeed)
+{
+    ExperimentConfig cfg;
+    cfg.system = system;
+    cfg.cluster = cluster;
+    cfg.models = std::move(models);
+    AzureTraceConfig tc;
+    tc.numModels = static_cast<int>(cfg.models.size());
+    tc.duration = duration;
+    tc.seed = seed;
+    cfg.trace = generateAzureTrace(tc);
+    cfg.duration = duration;
+    cfg.controller = ctl;
+    cfg.dataset = dataset;
+    cfg.seed = seed;
+    return runExperiment(cfg);
+}
+
+/** Print a "paper reports X, we measure Y" comparison note. */
+inline void
+note(const std::string &text)
+{
+    std::printf("  note: %s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace slinfer
+
+#endif // SLINFER_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scenario: capacity planning. Given a target fleet (96 7B models) and
+ * a target SLO attainment (95%), search cluster shapes (CPU vs GPU
+ * node mixes) and report the cheapest configuration that meets the
+ * target — the "how many CPUs equal one GPU?" question of Fig. 24,
+ * turned into a planning tool.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    const double kTargetSlo = 0.95;
+    // Rough relative cost: an A100 node ~5x an AMX CPU node.
+    const double kGpuCost = 5.0;
+    const double kCpuCost = 1.0;
+
+    AzureTraceConfig trace;
+    trace.numModels = 96;
+    trace.duration = 900.0;
+    trace.seed = 11;
+
+    printBanner("Capacity planner: 96 x 7B models, target 95% SLO");
+    Table t({"CPUs", "GPUs", "cost", "SLO rate", "meets target"});
+    double best_cost = 1e18;
+    int best_c = -1, best_g = -1;
+    for (int gpus = 1; gpus <= 6; ++gpus) {
+        for (int cpus = 0; cpus <= 8; cpus += 2) {
+            ExperimentConfig cfg;
+            cfg.system = SystemKind::Slinfer;
+            cfg.cluster.cpuNodes = cpus;
+            cfg.cluster.gpuNodes = gpus;
+            cfg.models = replicateModel(llama2_7b(), 96);
+            cfg.trace = generateAzureTrace(trace);
+            cfg.duration = trace.duration;
+            Report r = runExperiment(cfg);
+            double cost = cpus * kCpuCost + gpus * kGpuCost;
+            bool ok = r.sloRate >= kTargetSlo;
+            if (ok && cost < best_cost) {
+                best_cost = cost;
+                best_c = cpus;
+                best_g = gpus;
+            }
+            t.addRow({Table::num(static_cast<long long>(cpus)),
+                      Table::num(static_cast<long long>(gpus)),
+                      Table::num(cost, 0), Table::pct(r.sloRate),
+                      ok ? "yes" : "no"});
+        }
+    }
+    t.print();
+    if (best_c >= 0) {
+        std::printf("\nCheapest qualifying cluster: %d CPU + %d GPU "
+                    "nodes (cost %.0f)\n",
+                    best_c, best_g, best_cost);
+    } else {
+        std::printf("\nNo evaluated cluster met the target; scale out "
+                    "further.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: deploy a handful of private LLMs on a small
+ * heterogeneous cluster (1 AMX CPU node + 1 A100), drive them with a
+ * serverless-style trace, and print the serving report.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+using namespace slinfer;
+
+int
+main()
+{
+    // 1. Describe the cluster.
+    ExperimentConfig cfg;
+    cfg.cluster.cpuNodes = 1;  // Xeon-6462C (AMX) by default
+    cfg.cluster.gpuNodes = 1;  // A100-80GB by default
+
+    // 2. Deploy four private 7B models behind one endpoint each.
+    cfg.models = replicateModel(llama2_7b(), 4);
+
+    // 3. Generate a 5-minute serverless invocation trace and pick the
+    //    request-length dataset.
+    AzureTraceConfig trace;
+    trace.numModels = 4;
+    trace.duration = 300.0;
+    trace.seed = 42;
+    cfg.trace = generateAzureTrace(trace);
+    cfg.duration = trace.duration;
+    cfg.dataset = DatasetKind::AzureConv;
+
+    // 4. Pick the serving system and run.
+    cfg.system = SystemKind::Slinfer;
+    Report report = runExperiment(cfg);
+
+    std::printf("system:        %s\n", report.system.c_str());
+    std::printf("requests:      %zu (completed %zu, dropped %zu)\n",
+                report.totalRequests, report.completed, report.dropped);
+    std::printf("SLO attainment: %.1f%%\n", report.sloRate * 100.0);
+    std::printf("median TTFT:   %.2f s (p95 %.2f s)\n", report.p50Ttft,
+                report.p95Ttft);
+    std::printf("nodes used:    %.1f CPU + %.1f GPU\n",
+                report.avgCpuNodesUsed, report.avgGpuNodesUsed);
+    std::printf("decode speed:  %.0f tok/(CPU-node*s), %.0f "
+                "tok/(GPU-node*s)\n",
+                report.decodeSpeedCpu, report.decodeSpeedGpu);
+    return 0;
+}

@@ -1,0 +1,28 @@
+#include "baselines/neo.hh"
+
+#include "common/units.hh"
+
+namespace slinfer
+{
+
+HardwareSpec
+neoGpuSpec(const HardwareSpec &gpu, const HardwareSpec &cpu,
+           int harvestedCores)
+{
+    HardwareSpec hw = gpu;
+    if (harvestedCores <= 0)
+        return hw;
+    hw.name = gpu.name + " +NEO" + std::to_string(harvestedCores) + "c";
+    double core_frac =
+        static_cast<double>(harvestedCores) / std::max(cpu.cores, 1);
+    // Offloaded attention reads KV from host DRAM at the CPU's share of
+    // effective bandwidth; PCIe is bypassed because the computation
+    // happens CPU-side (NEO's design).
+    hw.auxKvBandwidth = cpu.effectiveBw() * core_frac;
+    // Host DRAM KV pool: 2 GiB per harvested core, a conservative slice
+    // of the host's memory.
+    hw.auxKvCapacity = static_cast<Bytes>(harvestedCores) * 2 * kGiB;
+    return hw;
+}
+
+} // namespace slinfer

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * NEO-style CPU-assisted GPU serving (paper §IX-I3, Fig. 29).
+ *
+ * NEO offloads KV-cache and the associated attention computation to the
+ * host CPU, relieving GPU memory pressure. We model the assistance as
+ * (a) auxiliary KV read bandwidth proportional to the harvested cores
+ * (served in parallel with HBM) and (b) extra host-DRAM KV capacity.
+ * The serving policy on top is the exclusive-GPU baseline: NEO targets
+ * single-instance high-load serving, which is exactly why it lags in
+ * the serverless multi-model setting the paper evaluates.
+ */
+
+#ifndef SLINFER_BASELINES_NEO_HH
+#define SLINFER_BASELINES_NEO_HH
+
+#include "hw/hardware_spec.hh"
+
+namespace slinfer
+{
+
+/**
+ * A GPU node spec augmented with `harvestedCores` of CPU assistance
+ * from a host of type `cpu`.
+ */
+HardwareSpec neoGpuSpec(const HardwareSpec &gpu, const HardwareSpec &cpu,
+                        int harvestedCores);
+
+} // namespace slinfer
+
+#endif // SLINFER_BASELINES_NEO_HH

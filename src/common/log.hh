@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal leveled logging with gem5-style fatal/panic semantics.
+ *
+ * panic() flags an internal invariant violation (simulator bug) and
+ * aborts; fatal() flags a user/configuration error and exits. Both are
+ * implemented as [[noreturn]] functions so callers can rely on them for
+ * control flow.
+ */
+
+#ifndef SLINFER_COMMON_LOG_HH
+#define SLINFER_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace slinfer
+{
+
+/** Verbosity levels, in increasing order of severity. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Set the global minimum level that is actually emitted. */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel logLevel();
+
+/** Emit a message at the given level (no-op if below the threshold). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Abort: an internal invariant was violated (simulator bug). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exit with an error: the user asked for something unsupported. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Build a log message from stream-style pieces.
+ * Example: logf(LogLevel::Info, "node ", id, " now has ", n, " instances")
+ */
+template <typename... Args>
+void
+logf(LogLevel level, Args &&...args)
+{
+    if (level < logLevel())
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    logMessage(level, os.str());
+}
+
+} // namespace slinfer
+
+#endif // SLINFER_COMMON_LOG_HH

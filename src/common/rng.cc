@@ -1,0 +1,93 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace slinfer
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    // Expand the user seed through SplitMix64 so nearby seeds give
+    // uncorrelated streams.
+    std::uint64_t s = seed;
+    engine_.seed(splitMix64(s));
+}
+
+Rng
+Rng::fork(std::uint64_t tag) const
+{
+    std::uint64_t s = seed_ ^ (tag * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL);
+    return Rng(splitMix64(s));
+}
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double
+Rng::exponential(double rate)
+{
+    return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double
+Rng::logNormalMedian(double median, double sigma)
+{
+    return std::lognormal_distribution<double>(std::log(median),
+                                               sigma)(engine_);
+}
+
+double
+Rng::gamma(double shape, double scale)
+{
+    return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+double
+Rng::boundedPareto(double lo, double hi, double alpha)
+{
+    // Inverse-CDF sampling of the bounded Pareto distribution.
+    double u = uniform();
+    double la = std::pow(lo, alpha);
+    double ha = std::pow(hi, alpha);
+    double x = -(u * ha - u * la - ha) / (ha * la);
+    return std::pow(x, -1.0 / alpha);
+}
+
+double
+Rng::normal()
+{
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace slinfer

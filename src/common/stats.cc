@@ -1,0 +1,172 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+void
+Summary::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+CdfBuilder::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+CdfBuilder::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+CdfBuilder::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    if (p <= 0.0)
+        return samples_.front();
+    if (p >= 100.0)
+        return samples_.back();
+    // Linear interpolation between closest ranks.
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+CdfBuilder::fractionBelow(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double
+CdfBuilder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>>
+CdfBuilder::cdfAt(const std::vector<double> &xs) const
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(xs.size());
+    for (double x : xs)
+        out.emplace_back(x, fractionBelow(x));
+    return out;
+}
+
+void
+TimeWeightedValue::set(Seconds t, double value)
+{
+    if (!started_) {
+        started_ = true;
+        start_ = last_ = t;
+        value_ = value;
+        return;
+    }
+    if (t < last_)
+        panic("TimeWeightedValue: time went backwards");
+    area_ += value_ * (t - last_);
+    last_ = t;
+    value_ = value;
+}
+
+double
+TimeWeightedValue::integral(Seconds end) const
+{
+    if (!started_)
+        return 0.0;
+    double extra = end > last_ ? value_ * (end - last_) : 0.0;
+    return area_ + extra;
+}
+
+double
+TimeWeightedValue::average(Seconds end) const
+{
+    if (!started_ || end <= start_)
+        return 0.0;
+    return integral(end) / (end - start_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        panic("Histogram: bad configuration");
+}
+
+void
+Histogram::add(double x)
+{
+    double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::ptrdiff_t>(
+        frac * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return binLow(i + 1);
+}
+
+} // namespace slinfer

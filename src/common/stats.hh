@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Streaming statistics: summaries, percentile/CDF builders, histograms
+ * and time-weighted averages used by the metrics subsystem and the
+ * benches that regenerate the paper's figures.
+ */
+
+#ifndef SLINFER_COMMON_STATS_HH
+#define SLINFER_COMMON_STATS_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+/**
+ * Streaming mean/min/max/variance accumulator (Welford's algorithm).
+ */
+class Summary
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Collects raw samples and answers percentile / CDF queries. Sorting is
+ * deferred until the first query.
+ */
+class CdfBuilder
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return samples_.size(); }
+
+    /** Value at percentile p in [0, 100]; 0 if empty. */
+    double percentile(double p) const;
+
+    /** Fraction of samples <= x. */
+    double fractionBelow(double x) const;
+
+    /** Mean of all samples. */
+    double mean() const;
+
+    /**
+     * CDF evaluated at the given x positions, as (x, fraction<=x) pairs.
+     * Useful for printing figure series.
+     */
+    std::vector<std::pair<double, double>>
+    cdfAt(const std::vector<double> &xs) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Integrates a piecewise-constant signal over simulated time, producing
+ * its time-weighted average. Used for "average nodes used" and memory
+ * utilization metrics.
+ */
+class TimeWeightedValue
+{
+  public:
+    /** Record that the signal takes `value` starting at time `t`. */
+    void set(Seconds t, double value);
+
+    /** Close the signal at time `t` and return the average over
+     *  [firstSetTime, t]. */
+    double average(Seconds end) const;
+
+    /** Integral of the signal from the first set() to `end`. */
+    double integral(Seconds end) const;
+
+    double current() const { return value_; }
+
+  private:
+    bool started_ = false;
+    Seconds start_ = 0.0;
+    Seconds last_ = 0.0;
+    double value_ = 0.0;
+    double area_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+ * edge bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t totalCount() const { return total_; }
+    const std::vector<std::size_t> &bins() const { return counts_; }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_COMMON_STATS_HH

@@ -1,0 +1,99 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table: row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::num(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+Table::pct(double frac)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << " " << cells[i];
+            for (std::size_t p = cells[i].size(); p < widths[i]; ++p)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    auto emitSep = [&]() {
+        os << "+";
+        for (std::size_t w : widths) {
+            for (std::size_t p = 0; p < w + 2; ++p)
+                os << '-';
+            os << "+";
+        }
+        os << "\n";
+    };
+
+    emitSep();
+    emitRow(headers_);
+    emitSep();
+    for (const auto &row : rows_)
+        emitRow(row);
+    emitSep();
+}
+
+void
+Table::print() const
+{
+    print(std::cout);
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+} // namespace slinfer

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harness to emit the rows/series
+ * that correspond to the paper's tables and figures.
+ */
+
+#ifndef SLINFER_COMMON_TABLE_HH
+#define SLINFER_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace slinfer
+{
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers
+ * format with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format an integer. */
+    static std::string num(long long v);
+
+    /** Format a percentage (0..1 input) with one decimal. */
+    static std::string pct(double frac);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner for bench output. */
+void printBanner(const std::string &title);
+
+} // namespace slinfer
+
+#endif // SLINFER_COMMON_TABLE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the SLINFER codebase.
+ *
+ * Simulation time is kept in double-precision seconds; memory amounts in
+ * bytes as unsigned 64-bit integers; token counts as 64-bit to allow
+ * aggregate counters to never overflow.
+ */
+
+#ifndef SLINFER_COMMON_TYPES_HH
+#define SLINFER_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace slinfer
+{
+
+/** Simulated wall-clock time, in seconds. */
+using Seconds = double;
+
+/** Memory amount, in bytes. */
+using Bytes = std::uint64_t;
+
+/** Count of tokens (input, generated, or aggregate). */
+using Tokens = std::int64_t;
+
+/** Monotonically increasing identifier for requests. */
+using RequestId = std::uint64_t;
+
+/** Identifier for a deployed model (index into the model table). */
+using ModelId = std::uint32_t;
+
+/** Identifier for a cluster node. */
+using NodeId = std::uint32_t;
+
+/** Identifier for a model instance. */
+using InstanceId = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+} // namespace slinfer
+
+#endif // SLINFER_COMMON_TYPES_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit helpers for bytes, throughput and time.
+ */
+
+#ifndef SLINFER_COMMON_UNITS_HH
+#define SLINFER_COMMON_UNITS_HH
+
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+
+/** Decimal giga, used for FLOP rates and vendor-style GB. */
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/** Convert a byte count to (binary) gibibytes as a double. */
+constexpr double
+toGiB(Bytes b)
+{
+    return static_cast<double>(b) / static_cast<double>(kGiB);
+}
+
+/** Convert gibibytes to bytes, rounding down. */
+constexpr Bytes
+fromGiB(double gib)
+{
+    return static_cast<Bytes>(gib * static_cast<double>(kGiB));
+}
+
+/** Milliseconds to seconds. */
+constexpr Seconds
+ms(double v)
+{
+    return v * 1e-3;
+}
+
+/** Seconds to milliseconds. */
+constexpr double
+toMs(Seconds s)
+{
+    return s * 1e3;
+}
+
+} // namespace slinfer
+
+#endif // SLINFER_COMMON_UNITS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tuning knobs shared by the controllers. Defaults are the paper's
+ * evaluation settings (§IX-A, §IX-I): keep-alive 1 s, KV watermark 25%,
+ * 10% shadow-validation overestimation.
+ */
+
+#ifndef SLINFER_CORE_CONFIG_HH
+#define SLINFER_CORE_CONFIG_HH
+
+#include "common/types.hh"
+#include "workload/slo.hh"
+
+namespace slinfer
+{
+
+struct ControllerConfig
+{
+    /** Idle instance reclamation threshold. */
+    Seconds keepAlive = 1.0;
+    /** KV-cache scaling watermark w (M_recommend = M_require*(1+w)). */
+    double watermark = 0.25;
+    /** Shadow validation per-iteration overestimation factor. */
+    double overestimate = 1.10;
+    /** Lognormal sigma of ground-truth iteration noise. */
+    double noiseSigma = 0.03;
+    /** Consider CPU nodes at all (ablation: w/o CPU). */
+    bool useCpu = true;
+    /** Allow colocating different models on one partition
+     *  (ablation: w/o Sharing). */
+    bool enableSharing = true;
+    /** Proactive preemption + reactive bin-packing
+     *  (ablation: w/o Consolidation). */
+    bool enableConsolidation = true;
+    /** Prefill-decode disaggregation mode (Table III). */
+    bool pdDisaggregation = false;
+    /** SLO definition. */
+    SloSpec slo;
+    /** Seed for ground-truth execution noise. */
+    std::uint64_t seed = 42;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_CORE_CONFIG_HH

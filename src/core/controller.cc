@@ -1,0 +1,911 @@
+#include "core/controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+#include "core/consolidator.hh"
+#include "core/headroom.hh"
+#include "engine/loader.hh"
+#include "hw/memcost_model.hh"
+
+namespace slinfer
+{
+
+ControllerBase::ControllerBase(Simulator &sim,
+                               std::vector<std::unique_ptr<Node>> &nodes,
+                               std::vector<ModelSpec> modelSpecs,
+                               std::vector<double> initialAvgOutput,
+                               ControllerConfig cfg, Recorder &recorder,
+                               ClusterStats *stats)
+    : sim_(sim), nodes_(nodes), cfg_(cfg), recorder_(recorder),
+      stats_(stats), rng_(cfg.seed)
+{
+    models_.reserve(modelSpecs.size());
+    for (std::size_t i = 0; i < modelSpecs.size(); ++i) {
+        ModelEntry e;
+        e.spec = modelSpecs[i];
+        e.avgOutput = i < initialAvgOutput.size() ? initialAvgOutput[i]
+                                                  : 256.0;
+        models_.push_back(std::move(e));
+    }
+}
+
+void
+ControllerBase::submit(Request *req)
+{
+    recorder_.onArrival(*req);
+    if (!tryDispatch(req))
+        queueRequest(req);
+}
+
+bool
+ControllerBase::tryDispatchDecode(Request *req)
+{
+    (void)req;
+    return false;
+}
+
+void
+ControllerBase::onRequestDoneHook(Request *req, Instance *inst)
+{
+    (void)req;
+    (void)inst;
+}
+
+TokenScheduler &
+ControllerBase::schedulerFor(Partition *part)
+{
+    auto it = scheds_.find(part);
+    if (it != scheds_.end())
+        return *it->second;
+
+    TokenScheduler::Callbacks cbs;
+    cbs.onRequestDone = [this](Request *r, Instance *i) {
+        requestDone(r, i);
+    };
+    cbs.routeAfterPrefill = [this](Request *r, Instance *i) {
+        return takeAfterPrefill(r, i);
+    };
+    cbs.onKvShortage = [this](Instance *i) { handleKvShortage(i); };
+    auto sched = std::make_unique<TokenScheduler>(
+        sim_, *part, schedPolicy(), cfg_.noiseSigma,
+        rng_.fork(0x5C4ED + part->node * 16 + part->index), std::move(cbs),
+        stats_);
+    auto *ptr = sched.get();
+    scheds_[part] = std::move(sched);
+    return *ptr;
+}
+
+void
+ControllerBase::kickPartition(Partition *part)
+{
+    schedulerFor(part).kick();
+}
+
+Instance *
+ControllerBase::makeInstance(ModelId model, Partition *primary,
+                             HardwareSpec execSpec, Bytes kvAlloc,
+                             InstanceRole role,
+                             std::vector<Partition *> extraHolds,
+                             bool staticKv)
+{
+    auto inst = std::make_unique<Instance>(
+        static_cast<InstanceId>(instancePool_.size() + 1), model,
+        models_[model].spec, primary, std::move(execSpec), kvAlloc);
+    inst->role = role;
+    inst->staticKv = staticKv;
+    inst->createdAt = sim_.now();
+    inst->extraHolds = std::move(extraHolds);
+    Instance *ptr = inst.get();
+    instancePool_.push_back(std::move(inst));
+    ++instancesCreated_;
+
+    primary->instances.push_back(ptr);
+    for (Partition *p : ptr->extraHolds) {
+        p->exclusiveHolder = ptr;
+        if (!p->mem.tryHold(p->mem.capacity() - p->mem.used()))
+            panic("makeInstance: exclusive hold failed");
+    }
+    if (!ptr->extraHolds.empty())
+        primary->exclusiveHolder = ptr;
+    models_[model].instances.push_back(ptr);
+    schedulerFor(primary); // ensure the scheduler exists
+    return ptr;
+}
+
+void
+ControllerBase::startStaticLoad(Instance *inst)
+{
+    Bytes footprint = std::min<Bytes>(
+        inst->model.weightBytes() + inst->kv.allocBytes(),
+        inst->primary->mem.capacity() - inst->primary->mem.used());
+    if (!inst->primary->mem.tryHold(footprint))
+        panic("startStaticLoad: static hold failed");
+    inst->memResident = true;
+    inst->heldPrimaryBytes = footprint;
+    inst->loadDuration = Loader::loadTime(inst->primary->spec, inst->model);
+    sim_.schedule(inst->loadDuration, [this, inst] {
+        inst->state = InstanceState::Active;
+        inst->activeAt = sim_.now();
+        kickPartition(inst->primary);
+        retryPending();
+    });
+}
+
+void
+ControllerBase::unloadStatic(Instance *inst)
+{
+    inst->state = InstanceState::Unloading;
+    sim_.schedule(
+        MemCostModel::weightUnloadTime(inst->primary->spec, inst->model),
+        [this, inst] {
+            inst->state = InstanceState::Reclaimed;
+            inst->reclaimedAt = sim_.now();
+            inst->primary->mem.release(inst->heldPrimaryBytes);
+            inst->heldPrimaryBytes = 0;
+            unregisterInstance(inst);
+            retryPending();
+        });
+}
+
+void
+ControllerBase::unregisterInstance(Instance *inst)
+{
+    auto &pv = inst->primary->instances;
+    pv.erase(std::remove(pv.begin(), pv.end(), inst), pv.end());
+    if (inst->primary->exclusiveHolder == inst)
+        inst->primary->exclusiveHolder = nullptr;
+    for (Partition *p : inst->extraHolds) {
+        if (p->exclusiveHolder == inst) {
+            p->exclusiveHolder = nullptr;
+            p->mem.release(p->mem.used());
+        }
+    }
+    auto &mv = models_[inst->modelId].instances;
+    mv.erase(std::remove(mv.begin(), mv.end(), inst), mv.end());
+}
+
+void
+ControllerBase::scheduleKeepAlive(Instance *inst)
+{
+    cancelKeepAlive(inst);
+    inst->keepAliveEv = sim_.schedule(cfg_.keepAlive, [this, inst] {
+        if (inst->state != InstanceState::Active || inst->loadSize() > 0)
+            return;
+        if (inst->resizeInFlight) {
+            // Retry once the op settles. A strictly positive delay is
+            // required even when keepAlive is 0, or same-time retries
+            // would spin without ever advancing the clock.
+            inst->keepAliveEv = sim_.schedule(
+                std::max(cfg_.keepAlive, 0.05),
+                [this, inst] { scheduleKeepAlive(inst); });
+            return;
+        }
+        doUnload(inst);
+    });
+}
+
+void
+ControllerBase::cancelKeepAlive(Instance *inst)
+{
+    inst->keepAliveEv.cancel();
+}
+
+void
+ControllerBase::admitTo(Request *req, Instance *inst)
+{
+    cancelKeepAlive(inst);
+    auto it = dropEvents_.find(req->id);
+    if (it != dropEvents_.end()) {
+        it->second.cancel();
+        dropEvents_.erase(it);
+    }
+    req->instance = inst->id;
+    req->state = RequestState::Prefill;
+    if (inst->state == InstanceState::Loading)
+        req->grace = std::max(req->grace, inst->loadDuration);
+    inst->prefillQueue.push_back(req);
+    kickPartition(inst->primary);
+}
+
+bool
+ControllerBase::admitToDecode(Request *req, Instance *inst)
+{
+    Tokens need = PagedKvCache::roundedTokens(req->contextLen() + 1);
+    if (!inst->kv.reserve(need))
+        return false;
+    cancelKeepAlive(inst);
+    req->kvReserved = need;
+    req->instance = inst->id;
+    req->state = RequestState::Decode;
+    inst->decodeBatch.push_back(req);
+    kickPartition(inst->primary);
+    return true;
+}
+
+void
+ControllerBase::queueRequest(Request *req)
+{
+    pending_.push_back(req);
+    if (req->generated > 0)
+        return; // re-queued mid-decode; never proactively dropped
+    Seconds deadline = req->arrival + cfg_.slo.ttft(req->inputLen);
+    Seconds delay = std::max<Seconds>(0.0, deadline - sim_.now());
+    dropEvents_[req->id] = sim_.schedule(delay, [this, req] {
+        if (req->state != RequestState::Queued)
+            return;
+        req->state = RequestState::Dropped;
+        recorder_.onDrop(*req, sim_.now());
+        dropEvents_.erase(req->id);
+    });
+}
+
+void
+ControllerBase::retryPending()
+{
+    if (inRetry_) {
+        retryAgain_ = true;
+        return;
+    }
+    inRetry_ = true;
+    do {
+        retryAgain_ = false;
+        // Cap the failed-dispatch work per retry round: under deep
+        // saturation re-validating the entire queue on every event is
+        // quadratic for no benefit (stuck heads drop at their TTFT
+        // deadline soon anyway).
+        const int kMaxFailures = 16;
+        int failures = 0;
+        std::deque<Request *> still;
+        while (!pending_.empty()) {
+            Request *req = pending_.front();
+            pending_.pop_front();
+            if (req->state != RequestState::Queued)
+                continue; // dropped or already admitted elsewhere
+            if (failures >= kMaxFailures) {
+                still.push_back(req);
+                continue;
+            }
+            if (!tryDispatch(req)) {
+                still.push_back(req);
+                ++failures;
+            }
+        }
+        // Preserve arrival order for the survivors, ahead of anything
+        // queued while we were dispatching.
+        for (auto it = still.rbegin(); it != still.rend(); ++it)
+            pending_.push_front(*it);
+
+        std::deque<Request *> still_decode;
+        while (!pendingDecode_.empty()) {
+            Request *req = pendingDecode_.front();
+            pendingDecode_.pop_front();
+            if (req->state != RequestState::Transfer)
+                continue;
+            if (!tryDispatchDecode(req))
+                still_decode.push_back(req);
+        }
+        for (auto it = still_decode.rbegin(); it != still_decode.rend();
+             ++it) {
+            pendingDecode_.push_front(*it);
+        }
+    } while (retryAgain_);
+    inRetry_ = false;
+}
+
+void
+ControllerBase::requestDone(Request *req, Instance *inst)
+{
+    req->completionTime = sim_.now();
+    recorder_.onComplete(*req, sim_.now());
+    ModelEntry &me = models_[req->model];
+    me.avgOutput = 0.85 * me.avgOutput +
+                   0.15 * static_cast<double>(req->generated);
+    onRequestDoneHook(req, inst);
+    if (inst->loadSize() == 0 && inst->state == InstanceState::Active)
+        scheduleKeepAlive(inst);
+    retryPending();
+}
+
+void
+ControllerBase::evictLongestHeadroom(Instance *inst)
+{
+    Request *victim = nullptr;
+    Seconds best = -std::numeric_limits<Seconds>::infinity();
+    for (Request *r : inst->decodeBatch) {
+        Seconds h = r->headroom(sim_.now());
+        if (h > best) {
+            best = h;
+            victim = r;
+        }
+    }
+    if (!victim)
+        return;
+    inst->removeRequest(victim);
+    inst->kv.release(victim->kvReserved);
+    victim->kvReserved = 0;
+    victim->instance = 0;
+    victim->state = RequestState::Queued;
+    ++victim->migrations;
+    ++evictions_;
+    queueRequest(victim);
+    retryPending();
+}
+
+bool
+ControllerBase::takeAfterPrefill(Request *req, Instance *inst)
+{
+    if (!cfg_.pdDisaggregation || inst->role != InstanceRole::PrefillOnly)
+        return false;
+    // KV pages stream to the decode instance over the fabric; the
+    // prefill instance frees them locally once sent.
+    inst->kv.release(req->kvReserved);
+    req->kvReserved = 0;
+    req->instance = 0;
+    req->state = RequestState::Transfer;
+    Bytes kv_bytes = static_cast<Bytes>(req->contextLen()) *
+                     inst->model.kvBytesPerToken();
+    if (inst->loadSize() == 0 && inst->state == InstanceState::Active)
+        scheduleKeepAlive(inst);
+    sim_.schedule(MemCostModel::kvMigrationTime(kv_bytes), [this, req] {
+        if (!tryDispatchDecode(req))
+            pendingDecode_.push_back(req);
+    });
+    return true;
+}
+
+std::vector<Partition *>
+ControllerBase::allPartitions(bool cpuFirst) const
+{
+    std::vector<Partition *> cpu, gpu;
+    for (const auto &node : nodes_) {
+        for (const auto &part : node->partitions()) {
+            (node->isCpu() ? cpu : gpu).push_back(part.get());
+        }
+    }
+    if (!cpuFirst)
+        cpu.clear();
+    std::vector<Partition *> out = std::move(cpu);
+    out.insert(out.end(), gpu.begin(), gpu.end());
+    return out;
+}
+
+double
+ControllerBase::scalingOverheadFraction() const
+{
+    double scaling = 0.0;
+    double uptime = 0.0;
+    for (const auto &inst : instancePool_) {
+        if (inst->activeAt < 0)
+            continue;
+        Seconds end = inst->state == InstanceState::Reclaimed
+                          ? inst->activeAt + inst->busyTime +
+                                inst->scalingTime
+                          : sim_.now();
+        scaling += inst->scalingTime;
+        uptime += std::max<Seconds>(end - inst->activeAt, 1e-9);
+    }
+    return uptime > 0 ? scaling / uptime : 0.0;
+}
+
+double
+ControllerBase::totalBusySeconds(HwKind kind) const
+{
+    double total = 0.0;
+    for (const auto &inst : instancePool_) {
+        if (inst->execSpec.kind == kind)
+            total += inst->busyTime;
+    }
+    return total;
+}
+
+double
+ControllerBase::kvUtilizationNow() const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &inst : instancePool_) {
+        if (inst->state != InstanceState::Active || inst->loadSize() == 0)
+            continue;
+        sum += inst->kv.utilization();
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+// ====================================================================
+// SlinferController
+// ====================================================================
+
+SlinferController::SlinferController(
+    Simulator &sim, std::vector<std::unique_ptr<Node>> &nodes,
+    std::vector<ModelSpec> modelSpecs,
+    std::vector<double> initialAvgOutput, ControllerConfig cfg,
+    Recorder &recorder, ClusterStats *stats)
+    : ControllerBase(sim, nodes, std::move(modelSpecs),
+                     std::move(initialAvgOutput), cfg, recorder, stats),
+      shadow_(quant_, ShadowConfig{cfg.overestimate, cfg.slo.tpot, 500})
+{
+    // Offline profiling: every (hardware type, model) pair the cluster
+    // could combine (§VI-B). Partition specs share their node's name
+    // only when identical, so profile per concrete spec.
+    for (const auto &node : nodes_) {
+        for (const auto &part : node->partitions()) {
+            for (const auto &me : models_) {
+                if (!quant_.profiled(part->spec, me.spec))
+                    quant_.profile(part->spec, me.spec);
+                // Tensor-parallel exec spec for exclusive fallbacks.
+                if (me.spec.tpDegree > 1 && !node->isCpu()) {
+                    HardwareSpec tp = PerfModel::tensorParallel(
+                        node->spec(), me.spec.tpDegree);
+                    if (!quant_.profiled(tp, me.spec))
+                        quant_.profile(tp, me.spec);
+                }
+            }
+        }
+    }
+    consolidator_ = std::make_unique<Consolidator>(*this);
+}
+
+SlinferController::~SlinferController() = default;
+
+SchedPolicy
+SlinferController::schedPolicy() const
+{
+    return SchedPolicy::Headroom;
+}
+
+MemorySubsystem &
+SlinferController::subsystemFor(Partition *part)
+{
+    auto it = mem_.find(part);
+    if (it != mem_.end())
+        return *it->second;
+    auto sub = std::make_unique<MemorySubsystem>(
+        sim_, *part, cfg_.watermark, [this, part] {
+            kickPartition(part);
+            retryPending();
+        });
+    auto *ptr = sub.get();
+    mem_[part] = std::move(sub);
+    return *ptr;
+}
+
+bool
+SlinferController::cpuFeasible(const ModelSpec &spec,
+                               const Request &req) const
+{
+    const HardwareSpec *cpu = nullptr;
+    for (const auto &node : nodes_) {
+        if (node->isCpu()) {
+            cpu = &node->partitions().front()->spec;
+            break;
+        }
+    }
+    if (!cpu || !cpu->hasMatrixAccel)
+        return false;
+    if (!quant_.profiled(*cpu, spec))
+        return false;
+    Seconds ttft_slo = cfg_.slo.ttft(req.inputLen);
+    if (quant_.prefillEstimate(*cpu, spec, req.contextLen()) *
+            cfg_.overestimate >
+        ttft_slo) {
+        return false;
+    }
+    Tokens ctx = req.inputLen +
+                 static_cast<Tokens>(models_[req.model].avgOutput);
+    return quant_.decodeEstimate(*cpu, spec, 1, ctx) * cfg_.overestimate <=
+           cfg_.slo.tpot;
+}
+
+bool
+SlinferController::exclusiveOnly(const ModelSpec &spec) const
+{
+    if (spec.tpDegree > 1)
+        return true;
+    // A model whose weights leave less than one max-context KV slot on
+    // the largest GPU partition cannot be shared meaningfully.
+    Bytes gpu_cap = 0;
+    for (const auto &node : nodes_) {
+        if (!node->isCpu()) {
+            gpu_cap = node->partitions().front()->mem.capacity();
+            break;
+        }
+    }
+    if (gpu_cap == 0)
+        return false;
+    Bytes min_kv = static_cast<Bytes>(spec.maxContext) *
+                   spec.kvBytesPerToken();
+    return spec.weightBytes() + 2 * min_kv > gpu_cap;
+}
+
+Seconds
+SlinferController::partBusyUntil(Partition *part)
+{
+    return schedulerFor(part).busyUntil();
+}
+
+bool
+SlinferController::tryExistingInstances(Request *req)
+{
+    ModelEntry &me = models_[req->model];
+    std::vector<Instance *> cands;
+    for (Instance *inst : me.instances) {
+        if (inst->state != InstanceState::Active &&
+            inst->state != InstanceState::Loading)
+            continue;
+        if (cfg_.pdDisaggregation &&
+            inst->role != InstanceRole::PrefillOnly)
+            continue;
+        if (!cfg_.pdDisaggregation && inst->role != InstanceRole::Unified)
+            continue;
+        cands.push_back(inst);
+    }
+    // Reactive bin-packing (§VIII-B): the largest-batch instance takes
+    // new requests first so fragments drain; ties prefer CPU residents
+    // when the request is CPU-feasible (§V's CPU-first policy).
+    bool cpu_ok = cfg_.useCpu && cpuFeasible(me.spec, *req);
+    std::stable_sort(cands.begin(), cands.end(),
+                     [cpu_ok](const Instance *a, const Instance *b) {
+                         if (a->batchSize() != b->batchSize())
+                             return a->batchSize() > b->batchSize();
+                         bool ac = a->execSpec.kind == HwKind::Cpu;
+                         bool bc = b->execSpec.kind == HwKind::Cpu;
+                         if (ac != bc)
+                             return cpu_ok ? ac : bc;
+                         return false;
+                     });
+    for (Instance *inst : cands) {
+        if (inst->execSpec.kind == HwKind::Cpu && !cpu_ok)
+            continue;
+        Partition *p = inst->primary;
+        if (!shadow_.canAdmit(*p, inst, *req, sim_.now(),
+                              partBusyUntil(p))) {
+            ++dispatchStats_.rejectShadow;
+            continue;
+        }
+        if (inst->staticKv) {
+            Tokens need = PagedKvCache::roundedTokens(req->contextLen()) +
+                          PagedKvCache::kBlockTokens;
+            if (!inst->kv.canFit(need))
+                continue;
+            admitTo(req, inst);
+            return true;
+        }
+        auto plan = subsystemFor(p).planAdmit(*inst, *req,
+                                              me.avgOutput);
+        if (!plan.ok) {
+            ++dispatchStats_.rejectMemory;
+            continue;
+        }
+        subsystemFor(p).commitPlan(*inst, plan);
+        ++dispatchStats_.admitExisting;
+        admitTo(req, inst);
+        return true;
+    }
+    return false;
+}
+
+bool
+SlinferController::tryNewInstance(Request *req)
+{
+    ModelEntry &me = models_[req->model];
+    if (exclusiveOnly(me.spec))
+        return tryExclusivePlacement(req);
+
+    bool cpu_ok = cfg_.useCpu && cpuFeasible(me.spec, *req);
+    Bytes weights = me.spec.weightBytes();
+    Bytes require = static_cast<Bytes>(std::max(
+                        static_cast<double>(req->inputLen) + me.avgOutput,
+                        static_cast<double>(me.spec.maxContext))) *
+                    me.spec.kvBytesPerToken();
+    Bytes recommend = static_cast<Bytes>(
+        static_cast<double>(require) * (1.0 + cfg_.watermark));
+
+    // Bin-packing: among feasible partitions pick the one whose free
+    // optimistic budget is smallest but sufficient (best fit).
+    Partition *best = nullptr;
+    Bytes best_free = std::numeric_limits<Bytes>::max();
+    Bytes best_kv = 0;
+    for (Partition *p : allPartitions(cpu_ok)) {
+        bool is_cpu = p->spec.kind == HwKind::Cpu;
+        if (is_cpu && !cpu_ok)
+            continue;
+        if (!p->openForPlacement())
+            continue;
+        if (!cfg_.enableSharing && !p->instances.empty())
+            continue;
+        MemorySubsystem &sub = subsystemFor(p);
+        Bytes kv_init = 0;
+        if (sub.canPlace(weights, recommend))
+            kv_init = recommend;
+        else if (sub.canPlace(weights, require))
+            kv_init = require; // compromise (§VII-D)
+        else
+            continue;
+        Bytes committed = sub.committed();
+        Bytes free = p->mem.capacity() - committed;
+        // Prefer CPU over GPU strictly; then best fit.
+        bool better;
+        if (best && (best->spec.kind == HwKind::Cpu) != is_cpu)
+            better = is_cpu;
+        else
+            better = free < best_free;
+        if (!better && best)
+            continue;
+        Seconds ready =
+            sim_.now() + Loader::loadTime(p->spec, me.spec);
+        if (!shadow_.canAdmitNew(*p, me.spec, p->spec, *req, sim_.now(),
+                                 partBusyUntil(p), ready))
+            continue;
+        best = p;
+        best_free = free;
+        best_kv = kv_init;
+    }
+    if (!best) {
+        ++dispatchStats_.rejectNoPlacement;
+        return false;
+    }
+    ++dispatchStats_.admitNew;
+
+    Instance *inst = makeInstance(req->model, best, best->spec, best_kv,
+                                  cfg_.pdDisaggregation
+                                      ? InstanceRole::PrefillOnly
+                                      : InstanceRole::Unified,
+                                  {}, false);
+    subsystemFor(best).beginLoad(*inst, [this, inst] {
+        kickPartition(inst->primary);
+        retryPending();
+    });
+    admitTo(req, inst);
+    return true;
+}
+
+bool
+SlinferController::tryExclusivePlacement(Request *req)
+{
+    ModelEntry &me = models_[req->model];
+    int degree = std::max(1, me.spec.tpDegree);
+    // Collect fully idle GPU nodes.
+    std::vector<Node *> free_nodes;
+    for (const auto &node : nodes_) {
+        if (node->isCpu() || node->inUse())
+            continue;
+        free_nodes.push_back(node.get());
+        if (static_cast<int>(free_nodes.size()) == degree)
+            break;
+    }
+    if (static_cast<int>(free_nodes.size()) < degree)
+        return false;
+
+    HardwareSpec exec = PerfModel::tensorParallel(free_nodes[0]->spec(),
+                                                  degree);
+    if (!quant_.profiled(exec, me.spec))
+        quant_.profile(exec, me.spec);
+    Bytes total_cap = 0;
+    std::vector<Partition *> holds;
+    for (Node *n : free_nodes) {
+        for (auto &p : n->partitions()) {
+            total_cap += p->mem.capacity();
+            holds.push_back(p.get());
+        }
+    }
+    Partition *primary = holds.front();
+    holds.erase(holds.begin());
+    Bytes kv_alloc = total_cap - me.spec.weightBytes();
+    Instance *inst = makeInstance(req->model, primary, exec, kv_alloc,
+                                  InstanceRole::Unified, holds, true);
+    startStaticLoad(inst);
+    admitTo(req, inst);
+    return true;
+}
+
+bool
+SlinferController::tryDispatch(Request *req)
+{
+    if (tryExistingInstances(req))
+        return true;
+    if (cfg_.enableConsolidation && !cfg_.pdDisaggregation &&
+        consolidator_->tryPreemptFor(req)) {
+        ++dispatchStats_.admitPreempt;
+        return true;
+    }
+    if (tryNewInstance(req))
+        return true;
+    // No room anywhere: reclaim idle instances now instead of waiting
+    // out their keep-alive; the queued request retries when the memory
+    // release lands.
+    demandReclaimFor(req);
+    return false;
+}
+
+bool
+SlinferController::demandReclaimFor(Request *req)
+{
+    const ModelSpec &spec = models_[req->model].spec;
+    Bytes weights = spec.weightBytes();
+    Bytes require =
+        static_cast<Bytes>(std::max(
+            static_cast<double>(req->inputLen) +
+                models_[req->model].avgOutput,
+            static_cast<double>(spec.maxContext))) *
+        spec.kvBytesPerToken();
+    bool cpu_ok = cfg_.useCpu && cpuFeasible(spec, *req);
+
+    for (Partition *p : allPartitions(cpu_ok)) {
+        if (p->spec.kind == HwKind::Cpu && !cpu_ok)
+            continue;
+        if (!p->openForPlacement())
+            continue;
+        if (!cfg_.enableSharing && !p->instances.empty()) {
+            // Exclusive placement: any fully idle partition will do
+            // once its residents are gone.
+        }
+        MemorySubsystem &sub = subsystemFor(p);
+        Bytes committed = sub.committed();
+        Bytes cap = static_cast<Bytes>(
+            static_cast<double>(sub.capacity()) *
+            (1.0 - MemorySubsystem::kPlacementReserve));
+        if (committed + weights + require <= cap)
+            continue; // placeable already; the shadow check failed here
+        // Sum reclaimable idle footprints, largest first.
+        std::vector<Instance *> idle;
+        for (Instance *inst : p->instances) {
+            if (inst->state == InstanceState::Active &&
+                inst->loadSize() == 0 && !inst->resizeInFlight) {
+                idle.push_back(inst);
+            }
+        }
+        std::sort(idle.begin(), idle.end(),
+                  [](const Instance *a, const Instance *b) {
+                      return a->model.weightBytes() + a->kvTarget >
+                             b->model.weightBytes() + b->kvTarget;
+                  });
+        Bytes reclaimable = 0;
+        std::vector<Instance *> victims;
+        for (Instance *inst : idle) {
+            victims.push_back(inst);
+            reclaimable += inst->model.weightBytes() + inst->kvTarget;
+            if (committed - reclaimable + weights + require <= cap)
+                break;
+        }
+        if (committed - reclaimable + weights + require > cap)
+            continue;
+        for (Instance *inst : victims) {
+            cancelKeepAlive(inst);
+            doUnload(inst);
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+SlinferController::tryDispatchDecode(Request *req)
+{
+    ModelEntry &me = models_[req->model];
+    std::vector<Instance *> cands;
+    for (Instance *inst : me.instances) {
+        if (inst->role != InstanceRole::DecodeOnly)
+            continue;
+        if (inst->state != InstanceState::Active)
+            continue;
+        cands.push_back(inst);
+    }
+    Consolidator::orderLargestBatchFirst(cands);
+    for (Instance *inst : cands) {
+        Partition *p = inst->primary;
+        if (!shadow_.aggregateDecodeFits(*p, inst, 1, req->contextLen()))
+            continue;
+        auto plan = subsystemFor(p).planAdmit(*inst, *req, me.avgOutput);
+        if (!plan.ok)
+            continue;
+        subsystemFor(p).commitPlan(*inst, plan);
+        if (admitToDecode(req, inst))
+            return true;
+    }
+    // Create a decode instance.
+    Bytes weights = me.spec.weightBytes();
+    Bytes require = static_cast<Bytes>(std::max(
+                        static_cast<double>(req->contextLen()) +
+                            me.avgOutput,
+                        static_cast<double>(me.spec.maxContext))) *
+                    me.spec.kvBytesPerToken();
+    for (Partition *p : allPartitions(cfg_.useCpu)) {
+        if (!p->openForPlacement())
+            continue;
+        MemorySubsystem &sub = subsystemFor(p);
+        if (!sub.canPlace(weights, require))
+            continue;
+        Instance *inst = makeInstance(req->model, p, p->spec, require,
+                                      InstanceRole::DecodeOnly, {}, false);
+        sub.beginLoad(*inst, [this, inst] {
+            kickPartition(inst->primary);
+            retryPending();
+        });
+        // Joins the batch once the load completes and KV is resident.
+        if (admitToDecode(req, inst))
+            return true;
+        pendingDecode_.push_back(req);
+        return true;
+    }
+    return false;
+}
+
+void
+SlinferController::handleKvShortage(Instance *inst)
+{
+    if (inst->staticKv || inst->state != InstanceState::Active) {
+        if (inst->decodeBatch.size() > 1)
+            evictLongestHeadroom(inst);
+        return;
+    }
+    auto result = subsystemFor(inst->primary)
+                      .tryEmergencyGrow(*inst,
+                                        models_[inst->modelId].avgOutput);
+    if (result == MemorySubsystem::GrowResult::Rejected) {
+        // No budget anywhere: evict the slackest request so the rest
+        // keep making progress (§VII-D).
+        evictLongestHeadroom(inst);
+    } else if (result == MemorySubsystem::GrowResult::Parked &&
+               !shortageTimeouts_.count(inst->id)) {
+        // The grow executes once a neighbor's release lands; the batch
+        // stalls briefly, which cumulative headroom usually absorbs.
+        // Guard against an all-parked partition with a timeout: if the
+        // instance still cannot progress after two TPOT budgets, evict
+        // to unfreeze it.
+        shortageTimeouts_.insert(inst->id);
+        sim_.schedule(2.0 * cfg_.slo.tpot, [this, inst] {
+            shortageTimeouts_.erase(inst->id);
+            if (inst->state == InstanceState::Active &&
+                !inst->resizeInFlight &&
+                inst->kvTarget > inst->kv.allocBytes() &&
+                !inst->decodeBatch.empty()) {
+                evictLongestHeadroom(inst);
+            }
+        });
+    }
+}
+
+void
+SlinferController::doUnload(Instance *inst)
+{
+    if (inst->staticKv) {
+        unloadStatic(inst);
+        return;
+    }
+    subsystemFor(inst->primary).beginUnload(*inst, [this, inst] {
+        unregisterInstance(inst);
+        retryPending();
+    });
+}
+
+void
+SlinferController::onRequestDoneHook(Request *req, Instance *inst)
+{
+    if (inst->staticKv || inst->state != InstanceState::Active)
+        return;
+    subsystemFor(inst->primary)
+        .onRequestComplete(*inst, models_[req->model].avgOutput);
+}
+
+std::size_t
+SlinferController::parkedOpsNow() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : mem_)
+        n += kv.second->parkedOps();
+    return n;
+}
+
+std::uint64_t
+SlinferController::resizeOps() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : mem_)
+        n += kv.second->resizeOps();
+    return n;
+}
+
+} // namespace slinfer

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Cluster controllers.
+ *
+ * ControllerBase owns the mechanics every serving system in the paper
+ * shares: the event-driven instance lifecycle (cold start via the fast
+ * loader, keep-alive reclamation), per-partition token schedulers,
+ * pending-request queues with proactive TTFT drops, request completion
+ * accounting, eviction, and the optional prefill-decode disaggregation
+ * plumbing (Table III).
+ *
+ * SlinferController implements the paper's scheme: CPU-first routing
+ * with profile-based fallback, shadow-validated admission, the
+ * watermark memory subsystem, and the dual consolidator (proactive
+ * preemption + reactive bin-packing). The baselines live in
+ * src/baselines.
+ */
+
+#ifndef SLINFER_CORE_CONTROLLER_HH
+#define SLINFER_CORE_CONTROLLER_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/memory_subsystem.hh"
+#include "core/quantifier.hh"
+#include "core/shadow_validator.hh"
+#include "core/token_scheduler.hh"
+#include "metrics/recorder.hh"
+
+namespace slinfer
+{
+
+class Consolidator;
+
+/** Per-deployed-model state. */
+struct ModelEntry
+{
+    ModelSpec spec;
+    /** Historical average output length O_bar (EWMA over completions). */
+    double avgOutput = 256.0;
+    /** Live instances (Loading/Active/Draining). */
+    std::vector<Instance *> instances;
+};
+
+class ControllerBase
+{
+  public:
+    ControllerBase(Simulator &sim,
+                   std::vector<std::unique_ptr<Node>> &nodes,
+                   std::vector<ModelSpec> modelSpecs,
+                   std::vector<double> initialAvgOutput,
+                   ControllerConfig cfg, Recorder &recorder,
+                   ClusterStats *stats);
+    virtual ~ControllerBase() = default;
+
+    ControllerBase(const ControllerBase &) = delete;
+    ControllerBase &operator=(const ControllerBase &) = delete;
+
+    /** Entry point: a request arrives. */
+    void submit(Request *req);
+
+    const ControllerConfig &config() const { return cfg_; }
+    const std::vector<ModelEntry> &models() const { return models_; }
+    std::size_t instancesCreated() const { return instancesCreated_; }
+    std::size_t evictions() const { return evictions_; }
+    std::size_t preemptions() const { return preemptions_; }
+
+    /** Where dispatch attempts land (observability / tests). */
+    struct DispatchStats
+    {
+        std::size_t admitExisting = 0;
+        std::size_t admitPreempt = 0;
+        std::size_t admitNew = 0;
+        std::size_t rejectShadow = 0;   ///< compute validation failures
+        std::size_t rejectMemory = 0;   ///< memory plan failures
+        std::size_t rejectNoPlacement = 0;
+    };
+    const DispatchStats &dispatchStats() const { return dispatchStats_; }
+
+    /** Total iteration-execution seconds on nodes of `kind` (tests). */
+    double totalBusySeconds(HwKind kind) const;
+
+    /** Fraction of total instance uptime spent blocked on KV resizes
+     *  (Fig. 31), across all instances ever created. */
+    double scalingOverheadFraction() const;
+
+    /** Mean KV allocation utilization across live instances, sampled
+     *  now (Fig. 31). */
+    double kvUtilizationNow() const;
+
+  protected:
+    /** Dispatch a fresh (or re-queued) request; false leaves it queued. */
+    virtual bool tryDispatch(Request *req) = 0;
+    /** Dispatch a prefilled request to a decode instance (PD mode). */
+    virtual bool tryDispatchDecode(Request *req);
+    /** Iteration selection policy for this system. */
+    virtual SchedPolicy schedPolicy() const = 0;
+    /** KV starvation on an instance; grow or evict. */
+    virtual void handleKvShortage(Instance *inst) = 0;
+    /** Reclaim an idle instance (release memory). */
+    virtual void doUnload(Instance *inst) = 0;
+    /** Hook invoked after a request completes on `inst`. */
+    virtual void onRequestDoneHook(Request *req, Instance *inst);
+
+    // --- shared mechanics -------------------------------------------
+    TokenScheduler &schedulerFor(Partition *part);
+    void kickPartition(Partition *part);
+
+    /** Allocate an Instance object and register it everywhere. */
+    Instance *makeInstance(ModelId model, Partition *primary,
+                           HardwareSpec execSpec, Bytes kvAlloc,
+                           InstanceRole role,
+                           std::vector<Partition *> extraHolds,
+                           bool staticKv);
+    /** Baseline path: hold all memory statically and start the load. */
+    void startStaticLoad(Instance *inst);
+    /** Release a static instance (unload latency, then memory). */
+    void unloadStatic(Instance *inst);
+    /** Remove a Reclaimed instance from all registries. */
+    void unregisterInstance(Instance *inst);
+    void scheduleKeepAlive(Instance *inst);
+    void cancelKeepAlive(Instance *inst);
+
+    /** Put the request on `inst`'s prefill queue. */
+    void admitTo(Request *req, Instance *inst);
+    /** PD mode: join a decode batch directly (KV already resident). */
+    bool admitToDecode(Request *req, Instance *inst);
+
+    void queueRequest(Request *req);
+    void retryPending();
+    void requestDone(Request *req, Instance *inst);
+    void evictLongestHeadroom(Instance *inst);
+    bool takeAfterPrefill(Request *req, Instance *inst);
+
+    /** All partitions, CPU nodes first then GPU, in id order. */
+    std::vector<Partition *> allPartitions(bool cpuFirst) const;
+
+    Simulator &sim_;
+    std::vector<std::unique_ptr<Node>> &nodes_;
+    std::vector<ModelEntry> models_;
+    ControllerConfig cfg_;
+    Recorder &recorder_;
+    ClusterStats *stats_;
+    Rng rng_;
+
+    /** Stable storage: instances are never destroyed mid-run so that
+     *  in-flight events can safely reference them. */
+    std::vector<std::unique_ptr<Instance>> instancePool_;
+    std::map<Partition *, std::unique_ptr<TokenScheduler>> scheds_;
+
+    std::deque<Request *> pending_;
+    std::deque<Request *> pendingDecode_; ///< PD mode
+    std::map<RequestId, EventHandle> dropEvents_;
+
+    std::size_t instancesCreated_ = 0;
+    std::size_t evictions_ = 0;
+    std::size_t preemptions_ = 0;
+    DispatchStats dispatchStats_;
+
+  private:
+    bool inRetry_ = false;
+    bool retryAgain_ = false;
+};
+
+/**
+ * The paper's system. See file header.
+ */
+class SlinferController : public ControllerBase
+{
+  public:
+    SlinferController(Simulator &sim,
+                      std::vector<std::unique_ptr<Node>> &nodes,
+                      std::vector<ModelSpec> modelSpecs,
+                      std::vector<double> initialAvgOutput,
+                      ControllerConfig cfg, Recorder &recorder,
+                      ClusterStats *stats);
+    ~SlinferController() override;
+
+    const Quantifier &quantifier() const { return quant_; }
+
+    /** Mean reservation-station occupancy across partitions (tests). */
+    std::size_t parkedOpsNow() const;
+
+    /** Total resize operations issued (Fig. 31). */
+    std::uint64_t resizeOps() const;
+
+  protected:
+    bool tryDispatch(Request *req) override;
+    bool tryDispatchDecode(Request *req) override;
+    SchedPolicy schedPolicy() const override;
+    void handleKvShortage(Instance *inst) override;
+    void doUnload(Instance *inst) override;
+    void onRequestDoneHook(Request *req, Instance *inst) override;
+
+  private:
+    friend class Consolidator;
+
+    MemorySubsystem &subsystemFor(Partition *part);
+    /** Can this request meet its SLO on the CPU node type at all? */
+    bool cpuFeasible(const ModelSpec &spec, const Request &req) const;
+    /** True when the model must fall back to exclusive allocation. */
+    bool exclusiveOnly(const ModelSpec &spec) const;
+
+    bool tryExistingInstances(Request *req);
+    bool tryNewInstance(Request *req);
+    bool tryExclusivePlacement(Request *req);
+    /**
+     * Placement pressure: start unloading idle (keep-alive) instances
+     * whose reclamation would make room for this model, so the queued
+     * request can place when the release lands. Returns true when at
+     * least one reclamation was initiated.
+     */
+    bool demandReclaimFor(Request *req);
+    Seconds partBusyUntil(Partition *part);
+
+    Quantifier quant_;
+    ShadowValidator shadow_;
+    std::map<Partition *, std::unique_ptr<MemorySubsystem>> mem_;
+    std::unique_ptr<Consolidator> consolidator_;
+    /** Instances with a pending parked-grow eviction timeout. */
+    std::set<InstanceId> shortageTimeouts_;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_CORE_CONTROLLER_HH

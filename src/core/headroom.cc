@@ -1,0 +1,31 @@
+#include "core/headroom.hh"
+
+#include <limits>
+
+namespace slinfer
+{
+
+Seconds
+requestHeadroom(const Request &req, Seconds now)
+{
+    return req.headroom(now);
+}
+
+Instance *
+pickMostUrgentInstance(const Partition &partition, Seconds now)
+{
+    Instance *best = nullptr;
+    Seconds best_h = std::numeric_limits<Seconds>::infinity();
+    for (Instance *inst : partition.instances) {
+        if (!inst->runnable())
+            continue;
+        Seconds h = inst->minHeadroom(now);
+        if (h < best_h) {
+            best_h = h;
+            best = inst;
+        }
+    }
+    return best;
+}
+
+} // namespace slinfer

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Headroom helpers (paper Eq. 1) used by the token-level scheduler and
+ * the shadow validator. The headroom of a request is the slack until
+ * the cumulative deadline of its next token; the scheduler always picks
+ * the instance whose most urgent request has the smallest headroom.
+ */
+
+#ifndef SLINFER_CORE_HEADROOM_HH
+#define SLINFER_CORE_HEADROOM_HH
+
+#include "engine/instance.hh"
+#include "engine/node.hh"
+
+namespace slinfer
+{
+
+/**
+ * Eq. 1: headroom = ST + TTFT_SLO + TPOT_SLO * O - CT, where the start
+ * time includes any cold-start grace.
+ */
+Seconds requestHeadroom(const Request &req, Seconds now);
+
+/**
+ * The runnable instance on `partition` whose most urgent request has
+ * the smallest headroom. Returns nullptr when nothing is runnable.
+ */
+Instance *pickMostUrgentInstance(const Partition &partition, Seconds now);
+
+} // namespace slinfer
+
+#endif // SLINFER_CORE_HEADROOM_HH

@@ -1,0 +1,307 @@
+#include "core/memory_subsystem.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "engine/loader.hh"
+#include "hw/memcost_model.hh"
+
+namespace slinfer
+{
+
+MemorySubsystem::MemorySubsystem(Simulator &sim, Partition &partition,
+                                 double watermark,
+                                 std::function<void()> notify)
+    : sim_(sim), part_(partition), watermark_(watermark),
+      notify_(std::move(notify))
+{
+}
+
+Bytes
+MemorySubsystem::committed() const
+{
+    Bytes total = 0;
+    for (const Instance *inst : part_.instances) {
+        // Optimistic semantics: an unloading instance's final footprint
+        // is zero (its physical release is covered by the pessimistic
+        // execution checks).
+        if (inst->state == InstanceState::Reclaimed ||
+            inst->state == InstanceState::Unloading)
+            continue;
+        total += inst->model.weightBytes() + inst->kvTarget;
+    }
+    return total;
+}
+
+Bytes
+MemorySubsystem::requiredBytes(const Instance &inst, const Request *extra,
+                               double avgOut) const
+{
+    double tokens = 0.0;
+    auto count = [&](const Request *r) {
+        tokens += static_cast<double>(r->inputLen) +
+                  std::max(static_cast<double>(r->generated), avgOut);
+    };
+    for (const Request *r : inst.prefillQueue)
+        count(r);
+    for (const Request *r : inst.decodeBatch)
+        count(r);
+    if (extra)
+        count(extra);
+    double min_tokens = static_cast<double>(inst.model.maxContext);
+    double need = std::max(tokens, min_tokens);
+    return static_cast<Bytes>(need) * inst.model.kvBytesPerToken();
+}
+
+MemorySubsystem::Plan
+MemorySubsystem::planAdmit(const Instance &inst, const Request &req,
+                           double avgOut) const
+{
+    Plan plan;
+    Bytes require = requiredBytes(inst, &req, avgOut);
+    if (inst.kvTarget >= require) {
+        plan.ok = true;
+        plan.target = inst.kvTarget;
+        return plan;
+    }
+    Bytes head = committed() - inst.kvTarget; // budget minus our KV share
+    Bytes recommend =
+        static_cast<Bytes>(static_cast<double>(require) *
+                           (1.0 + watermark_));
+    if (head + recommend <= capacity()) {
+        plan.ok = true;
+        plan.target = recommend;
+        plan.needsResize = true;
+        return plan;
+    }
+    // §VII-D: compromise down to the bare requirement.
+    if (head + require <= capacity()) {
+        plan.ok = true;
+        plan.target = require;
+        plan.needsResize = true;
+        plan.compromise = true;
+        return plan;
+    }
+    return plan;
+}
+
+void
+MemorySubsystem::commitPlan(Instance &inst, const Plan &plan)
+{
+    if (!plan.ok)
+        panic("MemorySubsystem: committing a failed plan");
+    if (!plan.needsResize)
+        return;
+    inst.kvTarget = plan.target;
+    issueResize(inst);
+}
+
+bool
+MemorySubsystem::canPlace(Bytes weights, Bytes kvInit) const
+{
+    Bytes limit = static_cast<Bytes>(static_cast<double>(capacity()) *
+                                     (1.0 - kPlacementReserve));
+    return committed() + weights + kvInit <= limit;
+}
+
+void
+MemorySubsystem::issueResize(Instance &inst)
+{
+    ++resizeOps_;
+    if (!inst.memResident)
+        return; // the pending load reads kvTarget when it executes
+    if (inst.resizeInFlight || parkedResize_.count(inst.id))
+        return; // the running/parked op picks up the new target
+    if (!tryExecute(Op{OpKind::Resize, &inst, nullptr})) {
+        parkedResize_.insert(inst.id);
+        station_.push_back(Op{OpKind::Resize, &inst, nullptr});
+    }
+}
+
+bool
+MemorySubsystem::tryExecute(Op op)
+{
+    Instance &inst = *op.inst;
+    if (op.kind == OpKind::Resize) {
+        if (inst.state == InstanceState::Reclaimed ||
+            inst.state == InstanceState::Unloading) {
+            return true; // stale op; drop it
+        }
+        if (!inst.memResident)
+            return true; // superseded by the still-pending load
+        Bytes target = inst.kvTarget;
+        Bytes old_alloc = inst.kv.allocBytes();
+        if (target == old_alloc)
+            return true; // became a no-op
+        // Never shrink below live pages.
+        Bytes floor = PagedKvCache::roundedTokens(inst.kv.usedTokens()) *
+                      inst.model.kvBytesPerToken();
+        if (floor > target) {
+            target = floor;
+            inst.kvTarget = target; // keep the optimistic budget honest
+            if (target == old_alloc)
+                return true;
+        }
+        // Pessimistic execution check: the transient holds old + new.
+        if (!part_.mem.canHold(target))
+            return false; // park in the reservation station
+        if (!part_.mem.tryHold(target))
+            panic("MemorySubsystem: hold failed after check");
+        inst.resizeInFlight = true;
+        Seconds dur =
+            MemCostModel::kvResizeTime(part_.spec, old_alloc, target);
+        Seconds started = sim_.now();
+        Bytes committed_target = target;
+        sim_.schedule(dur, [this, &inst, old_alloc, committed_target,
+                            started] {
+            inst.kv.setAllocBytes(committed_target);
+            part_.mem.release(old_alloc);
+            finishResize(inst, old_alloc, started);
+        });
+        return true;
+    }
+
+    // Load: physically hold weights + the initial KV allocation, then
+    // stream the checkpoint in.
+    Bytes footprint = inst.model.weightBytes() + inst.kvTarget;
+    if (!part_.mem.canHold(footprint))
+        return false; // park until a release lands
+    if (!part_.mem.tryHold(footprint))
+        panic("MemorySubsystem: load hold failed after check");
+    inst.memResident = true;
+    inst.kv.setAllocBytes(inst.kvTarget);
+    auto done = op.done;
+    sim_.schedule(Loader::loadTime(part_.spec, inst.model),
+                  [this, &inst, done] {
+                      inst.state = InstanceState::Active;
+                      inst.activeAt = sim_.now();
+                      // Admissions during the load may have raised the
+                      // committed KV target past what the load held.
+                      if (inst.kvTarget != inst.kv.allocBytes())
+                          issueResize(inst);
+                      if (done)
+                          done();
+                      notify_();
+                  });
+    return true;
+}
+
+void
+MemorySubsystem::finishResize(Instance &inst, Bytes oldAlloc,
+                              Seconds started)
+{
+    (void)oldAlloc;
+    inst.resizeInFlight = false;
+    inst.scalingTime += sim_.now() - started;
+    // Coalesced follow-up demand issued while this op ran.
+    if (inst.kvTarget != inst.kv.allocBytes() &&
+        inst.state != InstanceState::Reclaimed &&
+        inst.state != InstanceState::Unloading) {
+        if (!tryExecute(Op{OpKind::Resize, &inst, nullptr})) {
+            parkedResize_.insert(inst.id);
+            station_.push_back(Op{OpKind::Resize, &inst, nullptr});
+        }
+    }
+    drainStation();
+    notify_();
+}
+
+void
+MemorySubsystem::beginLoad(Instance &inst, std::function<void()> loaded)
+{
+    inst.loadDuration = Loader::loadTime(part_.spec, inst.model);
+    Op op{OpKind::Load, &inst, std::move(loaded)};
+    if (!tryExecute(op))
+        station_.push_back(std::move(op));
+}
+
+void
+MemorySubsystem::beginUnload(Instance &inst, std::function<void()> unloaded)
+{
+    if (inst.resizeInFlight)
+        panic("MemorySubsystem: unload during resize");
+    inst.state = InstanceState::Unloading;
+    parkedResize_.erase(inst.id);
+    Bytes footprint = inst.model.weightBytes() + inst.kv.allocBytes();
+    auto done = std::move(unloaded);
+    sim_.schedule(MemCostModel::weightUnloadTime(part_.spec, inst.model),
+                  [this, &inst, footprint, done] {
+                      inst.state = InstanceState::Reclaimed;
+                      inst.reclaimedAt = sim_.now();
+                      part_.mem.release(footprint);
+                      if (done)
+                          done();
+                      drainStation();
+                      notify_();
+                  });
+}
+
+void
+MemorySubsystem::onRequestComplete(Instance &inst, double avgOut)
+{
+    if (inst.state != InstanceState::Active)
+        return;
+    Bytes require = requiredBytes(inst, nullptr, avgOut);
+    Bytes recommend = static_cast<Bytes>(
+        static_cast<double>(require) * (1.0 + watermark_));
+    // Lazy scale-down: only when even the inflated recommendation sits
+    // below the current target.
+    if (static_cast<double>(recommend) * (1.0 + watermark_) <
+        static_cast<double>(inst.kvTarget)) {
+        inst.kvTarget = recommend;
+        issueResize(inst);
+    }
+}
+
+MemorySubsystem::GrowResult
+MemorySubsystem::tryEmergencyGrow(Instance &inst, double avgOut)
+{
+    Bytes require = requiredBytes(inst, nullptr, avgOut);
+    Bytes usage_floor =
+        (PagedKvCache::roundedTokens(inst.kv.usedTokens()) +
+         PagedKvCache::kBlockTokens *
+             static_cast<Tokens>(inst.loadSize() + 1)) *
+        inst.model.kvBytesPerToken();
+    Bytes need = std::max(require, usage_floor);
+    if (need <= inst.kvTarget && inst.kvTarget > inst.kv.allocBytes()) {
+        // Growth already committed; progress resumes when it lands —
+        // unless the op is stuck in the reservation station.
+        return parkedResize_.count(inst.id) ? GrowResult::Parked
+                                            : GrowResult::Sufficient;
+    }
+    Bytes head = committed() - inst.kvTarget;
+    Bytes recommend = static_cast<Bytes>(
+        static_cast<double>(need) * (1.0 + watermark_));
+    Bytes target = 0;
+    if (head + recommend <= capacity())
+        target = recommend;
+    else if (head + need <= capacity())
+        target = need;
+    else
+        return GrowResult::Rejected;
+    if (target <= inst.kvTarget)
+        return GrowResult::Rejected;
+    inst.kvTarget = target;
+    issueResize(inst);
+    if (inst.resizeInFlight)
+        return GrowResult::Executing;
+    return parkedResize_.count(inst.id) ? GrowResult::Parked
+                                        : GrowResult::Sufficient;
+}
+
+void
+MemorySubsystem::drainStation()
+{
+    for (auto it = station_.begin(); it != station_.end();) {
+        if (tryExecute(*it)) {
+            if (it->kind == OpKind::Resize)
+                parkedResize_.erase(it->inst->id);
+            it = station_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace slinfer

@@ -1,0 +1,139 @@
+#include "core/quantifier.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+std::string
+Quantifier::keyOf(const HardwareSpec &hw, const ModelSpec &m)
+{
+    return hw.name + "|" + m.name;
+}
+
+void
+Quantifier::profile(const HardwareSpec &hw, const ModelSpec &m,
+                    int maxBatch)
+{
+    ProfileTable t;
+    for (Tokens len = 16; len <= m.maxContext; len *= 2)
+        t.lenGrid.push_back(len);
+    if (t.lenGrid.empty() || t.lenGrid.back() != m.maxContext)
+        t.lenGrid.push_back(m.maxContext);
+    for (int b = 1; b <= maxBatch; b *= 2)
+        t.batchGrid.push_back(b);
+
+    // "Measure" the grid. In the real system each point is a short
+    // on-hardware run; here the analytic model plays the hardware.
+    for (Tokens len : t.lenGrid)
+        t.prefill.push_back(PerfModel::prefillTime(hw, m, len));
+    t.decode.resize(t.batchGrid.size());
+    for (std::size_t bi = 0; bi < t.batchGrid.size(); ++bi) {
+        for (Tokens len : t.lenGrid) {
+            t.decode[bi].push_back(
+                PerfModel::decodeTime(hw, m, t.batchGrid[bi], len));
+        }
+    }
+    tables_[keyOf(hw, m)] = std::move(t);
+}
+
+bool
+Quantifier::profiled(const HardwareSpec &hw, const ModelSpec &m) const
+{
+    return tables_.count(keyOf(hw, m)) > 0;
+}
+
+const Quantifier::ProfileTable &
+Quantifier::tableFor(const HardwareSpec &hw, const ModelSpec &m) const
+{
+    auto it = tables_.find(keyOf(hw, m));
+    if (it == tables_.end())
+        panic("Quantifier: pair not profiled: " + keyOf(hw, m));
+    return it->second;
+}
+
+namespace
+{
+
+/**
+ * Find the bracketing indices (lo, hi) and interpolation weight for
+ * value `x` in the sorted grid `grid`. Clamps outside the grid.
+ */
+template <typename T>
+void
+bracket(const std::vector<T> &grid, double x, std::size_t &lo,
+        std::size_t &hi, double &w)
+{
+    if (x <= static_cast<double>(grid.front())) {
+        lo = hi = 0;
+        w = 0.0;
+        return;
+    }
+    if (x >= static_cast<double>(grid.back())) {
+        lo = hi = grid.size() - 1;
+        w = 0.0;
+        return;
+    }
+    std::size_t i = 1;
+    while (static_cast<double>(grid[i]) < x)
+        ++i;
+    lo = i - 1;
+    hi = i;
+    double g_lo = static_cast<double>(grid[lo]);
+    double g_hi = static_cast<double>(grid[hi]);
+    w = (x - g_lo) / (g_hi - g_lo);
+}
+
+} // namespace
+
+Seconds
+Quantifier::prefillEstimate(const HardwareSpec &hw, const ModelSpec &m,
+                            Tokens inputLen) const
+{
+    const ProfileTable &t = tableFor(hw, m);
+    std::size_t lo, hi;
+    double w;
+    bracket(t.lenGrid, static_cast<double>(inputLen), lo, hi, w);
+    return t.prefill[lo] * (1.0 - w) + t.prefill[hi] * w;
+}
+
+Seconds
+Quantifier::decodeEstimate(const HardwareSpec &hw, const ModelSpec &m,
+                           int batchSize, Tokens avgLen) const
+{
+    const ProfileTable &t = tableFor(hw, m);
+    std::size_t bl, bh, ll, lh;
+    double wb, wl;
+    bracket(t.batchGrid, static_cast<double>(batchSize), bl, bh, wb);
+    bracket(t.lenGrid, static_cast<double>(avgLen), ll, lh, wl);
+    double v00 = t.decode[bl][ll];
+    double v01 = t.decode[bl][lh];
+    double v10 = t.decode[bh][ll];
+    double v11 = t.decode[bh][lh];
+    double v0 = v00 * (1.0 - wl) + v01 * wl;
+    double v1 = v10 * (1.0 - wl) + v11 * wl;
+    double est = v0 * (1.0 - wb) + v1 * wb;
+    // Batch sizes beyond the profiled grid extrapolate linearly on the
+    // per-request marginal cost of the last grid interval.
+    if (batchSize > t.batchGrid.back() && t.batchGrid.size() >= 2) {
+        int top = t.batchGrid.back();
+        int prev = t.batchGrid[t.batchGrid.size() - 2];
+        double slope =
+            (t.decode[t.batchGrid.size() - 1][ll] -
+             t.decode[t.batchGrid.size() - 2][ll]) /
+            static_cast<double>(top - prev);
+        est += slope * static_cast<double>(batchSize - top);
+    }
+    return est;
+}
+
+std::size_t
+Quantifier::sampleCount(const HardwareSpec &hw, const ModelSpec &m) const
+{
+    const ProfileTable &t = tableFor(hw, m);
+    return t.prefill.size() + t.batchGrid.size() * t.lenGrid.size();
+}
+
+} // namespace slinfer

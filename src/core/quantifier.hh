@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Performance quantifier (paper §VI-B).
+ *
+ * SLINFER never consults the analytic performance model directly at
+ * scheduling time; instead it *profiles* each (hardware, model) pair in
+ * advance on a power-of-two grid — O(log Lmax) TTFT samples and
+ * O(log Lmax * log Bmax) TPOT samples — and answers queries with linear
+ * (prefill) and bilinear (decode) interpolation between the closest
+ * grid points. The paper reports 5.9% / 3.9% average relative deviation
+ * for TTFT / TPOT; the core unit tests assert the same magnitude against
+ * the noisy ground truth.
+ */
+
+#ifndef SLINFER_CORE_QUANTIFIER_HH
+#define SLINFER_CORE_QUANTIFIER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/perf_model.hh"
+
+namespace slinfer
+{
+
+class Quantifier
+{
+  public:
+    /**
+     * Profile one (hardware, model) pair. Idempotent; call again to
+     * refresh. Sampling covers lengths up to the model's max context
+     * and batch sizes up to `maxBatch`.
+     */
+    void profile(const HardwareSpec &hw, const ModelSpec &m,
+                 int maxBatch = 256);
+
+    /** True once the pair has been profiled. */
+    bool profiled(const HardwareSpec &hw, const ModelSpec &m) const;
+
+    /** Interpolated prefill (TTFT-producing) iteration time. */
+    Seconds prefillEstimate(const HardwareSpec &hw, const ModelSpec &m,
+                            Tokens inputLen) const;
+
+    /** Interpolated decode iteration time. */
+    Seconds decodeEstimate(const HardwareSpec &hw, const ModelSpec &m,
+                           int batchSize, Tokens avgLen) const;
+
+    /** Number of profiled samples held for the pair (test aid). */
+    std::size_t sampleCount(const HardwareSpec &hw,
+                            const ModelSpec &m) const;
+
+  private:
+    struct ProfileTable
+    {
+        std::vector<Tokens> lenGrid;
+        std::vector<int> batchGrid;
+        std::vector<Seconds> prefill;          ///< indexed like lenGrid
+        std::vector<std::vector<Seconds>> decode; ///< [batch][len]
+    };
+
+    static std::string keyOf(const HardwareSpec &hw, const ModelSpec &m);
+    const ProfileTable &tableFor(const HardwareSpec &hw,
+                                 const ModelSpec &m) const;
+
+    std::map<std::string, ProfileTable> tables_;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_CORE_QUANTIFIER_HH

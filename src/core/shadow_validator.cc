@@ -1,0 +1,309 @@
+#include "core/shadow_validator.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace slinfer
+{
+
+ShadowValidator::ShadowValidator(const Quantifier &quant, ShadowConfig cfg)
+    : quant_(quant), cfg_(cfg)
+{
+}
+
+std::vector<ShadowValidator::SimInst>
+ShadowValidator::buildState(const Partition &part, Seconds now,
+                            const std::set<const Instance *> &exclude) const
+{
+    std::vector<SimInst> state;
+    int next_id = 0;
+    for (const Instance *inst : part.instances) {
+        if (exclude.count(inst))
+            continue;
+        if (inst->state == InstanceState::Reclaimed ||
+            inst->state == InstanceState::Unloading ||
+            inst->state == InstanceState::Draining) {
+            continue;
+        }
+        SimInst s;
+        s.model = &inst->model;
+        s.hw = &inst->execSpec;
+        s.availAt = inst->state == InstanceState::Loading
+                        ? inst->createdAt + inst->loadDuration
+                        : now;
+        for (const Request *r : inst->prefillQueue) {
+            s.prefills.push_back({r->deadlineForNextToken(),
+                                  r->contextLen(), false, next_id++});
+        }
+        for (const Request *r : inst->decodeBatch) {
+            s.decodeDeadlines.push_back(
+                {r->deadlineForNextToken(), next_id++});
+        }
+        s.avgLen = static_cast<double>(inst->avgContextLen());
+        state.push_back(std::move(s));
+    }
+    return state;
+}
+
+bool
+ShadowValidator::simulate(std::vector<SimInst> state, Seconds start,
+                          const std::set<int> *exempt,
+                          std::set<int> *doomed) const
+{
+    Seconds t = start;
+    bool candidate_present = false;
+    for (const SimInst &si : state)
+        for (const SimReq &p : si.prefills)
+            if (p.isCandidate)
+                candidate_present = true;
+    bool candidate_prefilled = !candidate_present;
+
+    auto is_exempt = [&](int id) {
+        return exempt && exempt->count(id) > 0;
+    };
+    auto violate = [&](int id) {
+        // Returns true when the violation should reject the admission.
+        if (doomed) {
+            doomed->insert(id);
+            return false;
+        }
+        return !is_exempt(id);
+    };
+
+    auto inst_min_deadline = [](const SimInst &si) {
+        Seconds d = std::numeric_limits<Seconds>::infinity();
+        for (const SimReq &p : si.prefills)
+            d = std::min(d, p.deadline);
+        for (const SimDecode &dd : si.decodeDeadlines)
+            d = std::min(d, dd.deadline);
+        return d;
+    };
+
+    for (int step = 0; step < cfg_.maxSteps; ++step) {
+        // Termination: candidate prefilled, every prefill drained, and
+        // every busy instance decoded at least once.
+        if (candidate_prefilled) {
+            bool all_ok = true;
+            for (const SimInst &si : state) {
+                if (!si.prefills.empty()) {
+                    all_ok = false;
+                    break;
+                }
+                if (!si.decodeDeadlines.empty() &&
+                    !si.decodedSinceCandidate) {
+                    all_ok = false;
+                    break;
+                }
+            }
+            if (all_ok)
+                return true;
+        }
+
+        // Select the runnable instance with the most urgent request.
+        SimInst *chosen = nullptr;
+        Seconds best = std::numeric_limits<Seconds>::infinity();
+        Seconds min_avail = std::numeric_limits<Seconds>::infinity();
+        bool any_work = false;
+        for (SimInst &si : state) {
+            if (si.prefills.empty() && si.decodeDeadlines.empty())
+                continue;
+            any_work = true;
+            min_avail = std::min(min_avail, si.availAt);
+            if (si.availAt > t)
+                continue;
+            Seconds d = inst_min_deadline(si);
+            if (d < best) {
+                best = d;
+                chosen = &si;
+            }
+        }
+        if (!any_work)
+            return true;
+        if (!chosen) {
+            t = std::max(t, min_avail); // wait for a load to finish
+            continue;
+        }
+
+        // Which item within the chosen instance is most urgent?
+        std::size_t pf_idx = 0;
+        Seconds pf_best = std::numeric_limits<Seconds>::infinity();
+        for (std::size_t i = 0; i < chosen->prefills.size(); ++i) {
+            if (chosen->prefills[i].deadline < pf_best) {
+                pf_best = chosen->prefills[i].deadline;
+                pf_idx = i;
+            }
+        }
+        Seconds dec_best = std::numeric_limits<Seconds>::infinity();
+        for (const SimDecode &dd : chosen->decodeDeadlines)
+            dec_best = std::min(dec_best, dd.deadline);
+
+        if (pf_best <= dec_best) {
+            SimReq req = chosen->prefills[pf_idx];
+            Seconds dur = quant_.prefillEstimate(*chosen->hw,
+                                                 *chosen->model, req.ctx) *
+                          cfg_.overestimate;
+            t += dur;
+            if (t > req.deadline && violate(req.id))
+                return false; // cases 1 / 2: prefill lands too late
+            chosen->prefills.erase(chosen->prefills.begin() +
+                                   static_cast<std::ptrdiff_t>(pf_idx));
+            if (req.isCandidate)
+                candidate_prefilled = true;
+            // Joins the decode batch with the cumulative deadline.
+            double n = static_cast<double>(chosen->decodeDeadlines.size());
+            chosen->avgLen = (chosen->avgLen * n +
+                              static_cast<double>(req.ctx)) /
+                             (n + 1.0);
+            chosen->decodeDeadlines.push_back(
+                {std::max(req.deadline, t) + cfg_.tpotSlo, req.id});
+        } else {
+            int batch = static_cast<int>(chosen->decodeDeadlines.size());
+            Seconds dur =
+                quant_.decodeEstimate(*chosen->hw, *chosen->model, batch,
+                                      static_cast<Tokens>(chosen->avgLen)) *
+                cfg_.overestimate;
+            t += dur;
+            for (SimDecode &dd : chosen->decodeDeadlines) {
+                if (t > dd.deadline && violate(dd.id))
+                    return false; // case 2: existing request delayed
+                dd.deadline += cfg_.tpotSlo;
+            }
+            chosen->avgLen += 1.0;
+            chosen->decodedSinceCandidate = true;
+        }
+    }
+    // Horizon exhausted with no (rejecting) violation observed.
+    return true;
+}
+
+bool
+ShadowValidator::twoPass(std::vector<SimInst> state, Seconds start,
+                         Seconds now) const
+{
+    // Baseline pass without the candidate: whatever violates anyway is
+    // doomed and must not veto the admission.
+    std::vector<SimInst> baseline = state;
+    for (SimInst &si : baseline) {
+        si.prefills.erase(
+            std::remove_if(si.prefills.begin(), si.prefills.end(),
+                           [](const SimReq &p) { return p.isCandidate; }),
+            si.prefills.end());
+    }
+    std::set<int> doomed;
+    simulate(baseline, start, nullptr, &doomed);
+    // A candidate whose own deadline has already passed (an evicted /
+    // migrated request being re-placed) cannot be protected either; it
+    // must still find a home, so its own lateness does not reject.
+    for (const SimInst &si : state) {
+        for (const SimReq &p : si.prefills) {
+            if (p.isCandidate && p.deadline < now)
+                doomed.insert(p.id);
+        }
+    }
+    return simulate(std::move(state), start, &doomed, nullptr);
+}
+
+bool
+ShadowValidator::aggregateDecodeFits(
+    const Partition &part, const Instance *target, int extraOnTarget,
+    Tokens extraLen, const std::set<const Instance *> &exclude) const
+{
+    Seconds total = 0.0;
+    for (const Instance *inst : part.instances) {
+        if (exclude.count(inst))
+            continue;
+        if (inst->state == InstanceState::Reclaimed ||
+            inst->state == InstanceState::Unloading ||
+            inst->state == InstanceState::Draining) {
+            continue;
+        }
+        // Steady state: every admitted request is in the decode batch.
+        int batch = inst->loadSize() + (inst == target ? extraOnTarget : 0);
+        if (batch == 0)
+            continue;
+        Tokens total_ctx = inst->totalContext();
+        for (const Request *r : inst->prefillQueue)
+            total_ctx += r->contextLen();
+        if (inst == target)
+            total_ctx += extraLen * extraOnTarget;
+        Tokens avg = std::max<Tokens>(1, total_ctx / batch);
+        total += quant_.decodeEstimate(inst->execSpec, inst->model, batch,
+                                       avg) *
+                 cfg_.overestimate;
+        if (total > cfg_.tpotSlo)
+            return false;
+    }
+    return total <= cfg_.tpotSlo;
+}
+
+bool
+ShadowValidator::canAdmit(const Partition &part, const Instance *target,
+                          const Request &req, Seconds now,
+                          Seconds partBusyUntil,
+                          const std::set<const Instance *> &exclude) const
+{
+    if (!aggregateDecodeFits(part, target, 1, req.contextLen(), exclude))
+        return false;
+
+    std::vector<SimInst> state = buildState(part, now, exclude);
+    std::size_t live = 0;
+    for (const Instance *inst : part.instances) {
+        if (exclude.count(inst))
+            continue;
+        if (inst->state == InstanceState::Reclaimed ||
+            inst->state == InstanceState::Unloading ||
+            inst->state == InstanceState::Draining) {
+            continue;
+        }
+        if (inst == target) {
+            state[live].prefills.push_back({req.deadlineForNextToken(),
+                                            req.contextLen(), true, -1});
+        }
+        ++live;
+    }
+    return twoPass(std::move(state), std::max(now, partBusyUntil), now);
+}
+
+bool
+ShadowValidator::canAdmitNew(const Partition &part, const ModelSpec &model,
+                             const HardwareSpec &execSpec,
+                             const Request &req, Seconds now,
+                             Seconds partBusyUntil, Seconds readyAt) const
+{
+    // Case 3 with the new instance's own decode stream included.
+    if (!aggregateDecodeFits(part, nullptr, 0, 0))
+        return false;
+    Seconds own = quant_.decodeEstimate(execSpec, model, 1,
+                                        req.contextLen()) *
+                  cfg_.overestimate;
+    Seconds others = 0.0;
+    for (const Instance *inst : part.instances) {
+        if (inst->state == InstanceState::Reclaimed ||
+            inst->state == InstanceState::Unloading)
+            continue;
+        int batch = inst->loadSize();
+        if (batch == 0)
+            continue;
+        others += quant_.decodeEstimate(inst->execSpec, inst->model, batch,
+                                        inst->avgContextLen()) *
+                  cfg_.overestimate;
+    }
+    if (own + others > cfg_.tpotSlo)
+        return false;
+
+    std::vector<SimInst> state = buildState(part, now, {});
+    SimInst cand;
+    cand.model = &model;
+    cand.hw = &execSpec;
+    cand.availAt = readyAt;
+    // Cold-started requests receive a grace window equal to the load
+    // time, mirroring the runtime accounting.
+    Seconds grace = std::max<Seconds>(0.0, readyAt - now);
+    cand.prefills.push_back({req.deadlineForNextToken() + grace,
+                             req.contextLen(), true, -1});
+    cand.avgLen = static_cast<double>(req.contextLen());
+    state.push_back(std::move(cand));
+    return twoPass(std::move(state), std::max(now, partBusyUntil), now);
+}
+
+} // namespace slinfer

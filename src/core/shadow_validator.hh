@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shadow validation (paper §VI-C).
+ *
+ * Before a request is dispatched to an instance, SLINFER virtually adds
+ * it and fast-forwards the partition's token-level schedule using the
+ * quantifier's estimates, each inflated by 10%. Admission is rejected
+ * when the simulation exhibits any of the paper's three cases:
+ *   (1) the new request's prefill lands after its TTFT deadline;
+ *   (2) an existing request's next token slips past its cumulative
+ *       deadline because of the new prefill;
+ *   (3) the aggregate single-decode-iteration time across all colocated
+ *       instances exceeds the TPOT SLO (steady-state saturation).
+ */
+
+#ifndef SLINFER_CORE_SHADOW_VALIDATOR_HH
+#define SLINFER_CORE_SHADOW_VALIDATOR_HH
+
+#include <set>
+#include <vector>
+
+#include "core/quantifier.hh"
+#include "engine/instance.hh"
+#include "engine/node.hh"
+
+namespace slinfer
+{
+
+class TokenScheduler;
+
+struct ShadowConfig
+{
+    double overestimate = 1.10;
+    Seconds tpotSlo = 0.25;
+    int maxSteps = 500;
+};
+
+class ShadowValidator
+{
+  public:
+    ShadowValidator(const Quantifier &quant, ShadowConfig cfg);
+
+    /**
+     * Can `req` join existing instance `target` on its partition
+     * without violating any colocated request's SLO? `partBusyUntil`
+     * is the completion time of the partition's in-flight iteration.
+     * Instances in `exclude` are treated as already removed (used by
+     * the consolidator to evaluate preemption).
+     */
+    bool canAdmit(const Partition &part, const Instance *target,
+                  const Request &req, Seconds now, Seconds partBusyUntil,
+                  const std::set<const Instance *> &exclude = {}) const;
+
+    /**
+     * Can `req` be served by a *new* instance of `model` placed on
+     * `part`, whose weights become resident at `readyAt`?
+     */
+    bool canAdmitNew(const Partition &part, const ModelSpec &model,
+                     const HardwareSpec &execSpec, const Request &req,
+                     Seconds now, Seconds partBusyUntil,
+                     Seconds readyAt) const;
+
+    /** Case-3 only: steady-state aggregate decode fits in one TPOT. */
+    bool aggregateDecodeFits(const Partition &part, const Instance *target,
+                             int extraOnTarget, Tokens extraLen,
+                             const std::set<const Instance *> &exclude =
+                                 {}) const;
+
+  private:
+    struct SimReq
+    {
+        Seconds deadline;
+        Tokens ctx;
+        bool isCandidate;
+        int id; ///< stable identity across the two passes (-1: candidate)
+    };
+    struct SimDecode
+    {
+        Seconds deadline;
+        int id;
+    };
+    struct SimInst
+    {
+        const ModelSpec *model = nullptr;
+        const HardwareSpec *hw = nullptr;
+        Seconds availAt = 0.0;
+        std::vector<SimReq> prefills;
+        std::vector<SimDecode> decodeDeadlines;
+        double avgLen = 1.0;
+        bool decodedSinceCandidate = false;
+    };
+
+    std::vector<SimInst> buildState(
+        const Partition &part, Seconds now,
+        const std::set<const Instance *> &exclude) const;
+
+    /**
+     * Fast-forward the token-level schedule. With `doomed == nullptr`,
+     * returns false on the first violation by a request not in
+     * `exempt`. With `doomed != nullptr`, never fails; instead it
+     * records the ids of requests that violate (used as the baseline
+     * pass: requests that are late even without the candidate cannot be
+     * protected and must not veto admissions).
+     */
+    bool simulate(std::vector<SimInst> state, Seconds start,
+                  const std::set<int> *exempt,
+                  std::set<int> *doomed) const;
+
+    /** Two-pass validation: baseline marks the doomed, then the real
+     *  pass (with the candidate) checks only protectable requests.
+     *  `now` is the true wall clock (start may be later when the
+     *  partition is mid-iteration). */
+    bool twoPass(std::vector<SimInst> state, Seconds start,
+                 Seconds now) const;
+
+    const Quantifier &quant_;
+    ShadowConfig cfg_;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_CORE_SHADOW_VALIDATOR_HH

@@ -1,0 +1,94 @@
+#include "engine/instance.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+Instance::Instance(InstanceId id_, ModelId model_id, const ModelSpec &m,
+                   Partition *primary_, HardwareSpec exec_spec,
+                   Bytes kv_alloc)
+    : id(id_), modelId(model_id), model(m), primary(primary_),
+      execSpec(std::move(exec_spec)), kv(m.kvBytesPerToken(), kv_alloc),
+      kvTarget(kv_alloc)
+{
+}
+
+Tokens
+Instance::totalContext() const
+{
+    Tokens total = 0;
+    for (const Request *r : decodeBatch)
+        total += r->contextLen();
+    return total;
+}
+
+Tokens
+Instance::avgContextLen() const
+{
+    if (decodeBatch.empty())
+        return 1;
+    return std::max<Tokens>(
+        1, totalContext() / static_cast<Tokens>(decodeBatch.size()));
+}
+
+bool
+Instance::runnable() const
+{
+    if (state != InstanceState::Active || resizeInFlight)
+        return false;
+    return !prefillQueue.empty() || !decodeBatch.empty();
+}
+
+Request *
+Instance::mostUrgent(Seconds now, bool &is_prefill) const
+{
+    Request *best = nullptr;
+    Seconds best_h = std::numeric_limits<Seconds>::infinity();
+    is_prefill = false;
+    for (Request *r : prefillQueue) {
+        Seconds h = r->headroom(now);
+        if (h < best_h) {
+            best_h = h;
+            best = r;
+            is_prefill = true;
+        }
+    }
+    for (Request *r : decodeBatch) {
+        Seconds h = r->headroom(now);
+        if (h < best_h) {
+            best_h = h;
+            best = r;
+            is_prefill = false;
+        }
+    }
+    return best;
+}
+
+Seconds
+Instance::minHeadroom(Seconds now) const
+{
+    bool is_prefill = false;
+    Request *r = mostUrgent(now, is_prefill);
+    return r ? r->headroom(now)
+             : std::numeric_limits<Seconds>::infinity();
+}
+
+void
+Instance::removeRequest(Request *req)
+{
+    auto erase_from = [req](std::vector<Request *> &v) {
+        auto it = std::find(v.begin(), v.end(), req);
+        if (it == v.end())
+            return false;
+        v.erase(it);
+        return true;
+    };
+    if (!erase_from(prefillQueue) && !erase_from(decodeBatch))
+        panic("Instance::removeRequest: request not found");
+}
+
+} // namespace slinfer

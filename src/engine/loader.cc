@@ -1,0 +1,27 @@
+#include "engine/loader.hh"
+
+namespace slinfer
+{
+
+Seconds
+Loader::loadTime(const HardwareSpec &hw, const ModelSpec &m)
+{
+    return MemCostModel::weightLoadTime(hw, m);
+}
+
+EventHandle
+Loader::scheduleLoad(Simulator &sim, const HardwareSpec &hw,
+                     const ModelSpec &m, std::function<void()> done)
+{
+    return sim.schedule(loadTime(hw, m), std::move(done));
+}
+
+EventHandle
+Loader::scheduleUnload(Simulator &sim, const HardwareSpec &hw,
+                       const ModelSpec &m, std::function<void()> done)
+{
+    return sim.schedule(MemCostModel::weightUnloadTime(hw, m),
+                        std::move(done));
+}
+
+} // namespace slinfer

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cold-start weight loader.
+ *
+ * Thin engine-level wrapper around MemCostModel that schedules the
+ * completion callbacks on the simulator; all systems in the paper share
+ * the same ServerlessLLM-style fast loader (§IX-A), so this is common
+ * machinery for SLINFER and the baselines alike.
+ */
+
+#ifndef SLINFER_ENGINE_LOADER_HH
+#define SLINFER_ENGINE_LOADER_HH
+
+#include <functional>
+
+#include "hw/memcost_model.hh"
+#include "sim/simulator.hh"
+
+namespace slinfer
+{
+
+class Loader
+{
+  public:
+    /** Latency of loading `m` onto `hw`. */
+    static Seconds loadTime(const HardwareSpec &hw, const ModelSpec &m);
+
+    /** Schedule a load; `done` fires when weights are resident. */
+    static EventHandle scheduleLoad(Simulator &sim, const HardwareSpec &hw,
+                                    const ModelSpec &m,
+                                    std::function<void()> done);
+
+    /** Schedule an unload; `done` fires when memory is reclaimable. */
+    static EventHandle scheduleUnload(Simulator &sim,
+                                      const HardwareSpec &hw,
+                                      const ModelSpec &m,
+                                      std::function<void()> done);
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_ENGINE_LOADER_HH

@@ -1,0 +1,31 @@
+#include "engine/memory_manager.hh"
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+MemoryManager::MemoryManager(Bytes capacity) : capacity_(capacity)
+{
+}
+
+bool
+MemoryManager::tryHold(Bytes bytes)
+{
+    if (used_ + bytes > capacity_) {
+        ++oomEvents_;
+        return false;
+    }
+    used_ += bytes;
+    return true;
+}
+
+void
+MemoryManager::release(Bytes bytes)
+{
+    if (bytes > used_)
+        panic("MemoryManager: releasing more than held");
+    used_ -= bytes;
+}
+
+} // namespace slinfer

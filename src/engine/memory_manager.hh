@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Physical memory ledger of one node partition.
+ *
+ * This is the ground truth the orchestration layer must never violate:
+ * holds are byte amounts physically resident (weights, current KV
+ * blocks, and the transient new allocation during a resize). tryHold()
+ * refuses to go past capacity — an OOM. The SLINFER memory subsystem is
+ * designed so that tryHold never fails; a property test drives random
+ * scaling storms through it and asserts exactly that.
+ */
+
+#ifndef SLINFER_ENGINE_MEMORY_MANAGER_HH
+#define SLINFER_ENGINE_MEMORY_MANAGER_HH
+
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+class MemoryManager
+{
+  public:
+    explicit MemoryManager(Bytes capacity);
+
+    Bytes capacity() const { return capacity_; }
+    Bytes used() const { return used_; }
+    Bytes available() const { return capacity_ - used_; }
+
+    /** True if `bytes` more would fit (no state change, not counted). */
+    bool canHold(Bytes bytes) const { return used_ + bytes <= capacity_; }
+
+    /** Physically take `bytes`; false (and no change) if it would OOM. */
+    [[nodiscard]] bool tryHold(Bytes bytes);
+
+    /** Release a previous hold. */
+    void release(Bytes bytes);
+
+    /** Count of tryHold calls that failed (observability for tests). */
+    std::uint64_t oomEvents() const { return oomEvents_; }
+
+  private:
+    Bytes capacity_;
+    Bytes used_ = 0;
+    std::uint64_t oomEvents_ = 0;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_ENGINE_MEMORY_MANAGER_HH

@@ -1,0 +1,76 @@
+#include "engine/node.hh"
+
+#include "engine/instance.hh"
+
+namespace slinfer
+{
+
+Partition::Partition(NodeId node_, int index_, HardwareSpec spec_)
+    : node(node_), index(index_), spec(std::move(spec_)),
+      mem(spec.memCapacity)
+{
+}
+
+bool
+Partition::openForPlacement() const
+{
+    return exclusiveHolder == nullptr;
+}
+
+Bytes
+Partition::liveBytes() const
+{
+    Bytes live = 0;
+    for (const Instance *inst : instances) {
+        if (inst->state == InstanceState::Reclaimed)
+            continue;
+        if (inst->memResident)
+            live += inst->model.weightBytes();
+        live += inst->kv.usedBytes();
+    }
+    return live;
+}
+
+Node::Node(NodeId id, const HardwareSpec &spec, int numPartitions)
+    : id_(id), spec_(spec)
+{
+    if (numPartitions <= 1) {
+        parts_.push_back(std::make_unique<Partition>(id, 0, spec));
+        return;
+    }
+    double frac = 1.0 / numPartitions;
+    for (int i = 0; i < numPartitions; ++i) {
+        parts_.push_back(std::make_unique<Partition>(
+            id, i, scaledPartition(spec, frac)));
+    }
+}
+
+bool
+Node::inUse() const
+{
+    for (const auto &p : parts_) {
+        if (!p->instances.empty() || p->exclusiveHolder)
+            return true;
+    }
+    return false;
+}
+
+Bytes
+Node::memUsed() const
+{
+    Bytes used = 0;
+    for (const auto &p : parts_)
+        used += p->mem.used();
+    return used;
+}
+
+Bytes
+Node::memCapacity() const
+{
+    Bytes cap = 0;
+    for (const auto &p : parts_)
+        cap += p->mem.capacity();
+    return cap;
+}
+
+} // namespace slinfer

@@ -1,0 +1,31 @@
+#include "engine/request.hh"
+
+namespace slinfer
+{
+
+Seconds
+Request::deadlineForNextToken() const
+{
+    return arrival + grace + ttftSlo +
+           tpotSlo * static_cast<double>(generated);
+}
+
+Seconds
+Request::headroom(Seconds now) const
+{
+    return deadlineForNextToken() - now;
+}
+
+Seconds
+Request::noteToken(Seconds t)
+{
+    Seconds slack = deadlineForNextToken() - t;
+    if (slack < 0)
+        sloViolated = true;
+    if (generated == 0)
+        firstTokenTime = t;
+    ++generated;
+    return slack;
+}
+
+} // namespace slinfer

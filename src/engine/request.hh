@@ -1,0 +1,79 @@
+/**
+ * @file
+ * An inference request and its SLO bookkeeping.
+ *
+ * The paper defines urgency through *headroom* (Eq. 1):
+ *     headroom = ST + TTFT_SLO + TPOT_SLO * O - CT
+ * i.e. the absolute deadline of the next token is cumulative in the
+ * number of generated tokens. A request meets its SLO iff every token
+ * (including the first) was emitted with non-negative headroom; requests
+ * served by a cold-started instance get a TTFT grace window equal to the
+ * cold-start duration.
+ */
+
+#ifndef SLINFER_ENGINE_REQUEST_HH
+#define SLINFER_ENGINE_REQUEST_HH
+
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+enum class RequestState
+{
+    Queued,      ///< waiting for admission to an instance
+    Prefill,     ///< admitted; waiting for / running its prefill
+    Decode,      ///< in a decode batch
+    Transfer,    ///< KV in flight between instances (PD disaggregation)
+    Completed,
+    Dropped,     ///< queueing exceeded the TTFT SLO (proactive drop)
+};
+
+struct Request
+{
+    RequestId id = 0;
+    ModelId model = 0;
+    Seconds arrival = 0.0;
+    Tokens inputLen = 0;
+    Tokens targetOutput = 1;
+
+    Seconds ttftSlo = 0.0;
+    Seconds tpotSlo = 0.25;
+    /** Cold-start grace added to the TTFT deadline. */
+    Seconds grace = 0.0;
+
+    RequestState state = RequestState::Queued;
+    Tokens generated = 0;
+    Seconds firstTokenTime = -1.0;
+    Seconds completionTime = -1.0;
+    /** True once any token missed its cumulative deadline. */
+    bool sloViolated = false;
+    /** Times the request was evicted/migrated between instances. */
+    int migrations = 0;
+    /** Instance currently responsible (0 = none). */
+    InstanceId instance = 0;
+    /** KV tokens currently reserved for this request (block-rounded). */
+    Tokens kvReserved = 0;
+
+    /** Absolute deadline of the next token (Eq. 1). */
+    Seconds deadlineForNextToken() const;
+
+    /** Headroom at time `now`; negative means the SLO is already lost. */
+    Seconds headroom(Seconds now) const;
+
+    /** Input plus generated tokens (KV footprint in tokens). */
+    Tokens contextLen() const { return inputLen + generated; }
+
+    /** True once all target tokens are out. */
+    bool finishedGenerating() const { return generated >= targetOutput; }
+
+    /**
+     * Record a token emission at time `t`, updating violation state.
+     * Returns the headroom the token had.
+     */
+    Seconds noteToken(Seconds t);
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_ENGINE_REQUEST_HH

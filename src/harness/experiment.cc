@@ -1,0 +1,119 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hh"
+#include "metrics/cluster_stats.hh"
+#include "metrics/recorder.hh"
+
+namespace slinfer
+{
+
+std::vector<std::unique_ptr<Node>>
+buildCluster(const ClusterSpec &cluster, int partitionsPerNode)
+{
+    std::vector<std::unique_ptr<Node>> nodes;
+    NodeId id = 0;
+    for (int i = 0; i < cluster.cpuNodes; ++i) {
+        nodes.push_back(std::make_unique<Node>(id++, cluster.cpuSpec,
+                                               partitionsPerNode));
+    }
+    for (int i = 0; i < cluster.gpuNodes; ++i) {
+        nodes.push_back(std::make_unique<Node>(id++, cluster.gpuSpec,
+                                               partitionsPerNode));
+    }
+    return nodes;
+}
+
+std::vector<ModelSpec>
+replicateModel(const ModelSpec &spec, int count)
+{
+    std::vector<ModelSpec> models;
+    models.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        ModelSpec m = spec;
+        m.name = spec.name; // replicas share the profile key
+        models.push_back(std::move(m));
+    }
+    return models;
+}
+
+Report
+runExperiment(const ExperimentConfig &cfg)
+{
+    if (cfg.models.empty())
+        fatal("runExperiment: no models configured");
+
+    Simulator sim;
+    auto nodes = buildCluster(cfg.cluster, systemPartitions(cfg.system));
+    Recorder recorder;
+    ClusterStats stats(sim, nodes);
+    stats.start(cfg.duration);
+
+    Dataset dataset(cfg.dataset);
+    Rng len_rng = Rng(cfg.seed).fork(0x1E46);
+
+    // Materialize requests from the trace + dataset.
+    std::deque<Request> requests;
+    RequestId next_id = 1;
+    for (const Arrival &a : cfg.trace.arrivals) {
+        if (a.model >= cfg.models.size())
+            fatal("runExperiment: trace references unknown model");
+        const ModelSpec &spec = cfg.models[a.model];
+        LengthSample len = dataset.sample(len_rng);
+        Request req;
+        req.id = next_id++;
+        req.model = a.model;
+        req.arrival = a.time;
+        req.inputLen =
+            std::clamp<Tokens>(len.input, 1, spec.maxContext - 64);
+        req.targetOutput = std::clamp<Tokens>(
+            len.output, 1, spec.maxContext - req.inputLen - 1);
+        req.ttftSlo = cfg.controller.slo.ttft(req.inputLen);
+        req.tpotSlo = cfg.controller.slo.tpot;
+        requests.push_back(req);
+    }
+
+    std::vector<double> avg_out(cfg.models.size(), dataset.meanOutput());
+    ControllerConfig ctl_cfg = cfg.controller;
+    ctl_cfg.seed = cfg.seed;
+    auto controller =
+        makeSystem(cfg.system, sim, nodes, cfg.models, avg_out, ctl_cfg,
+                   recorder, &stats);
+
+    for (Request &req : requests) {
+        sim.scheduleAt(req.arrival,
+                       [&controller, &req] { controller->submit(&req); });
+    }
+
+    // Periodically sample KV utilization and scaling overhead while the
+    // run is live (Fig. 31).
+    struct KvSampling
+    {
+        double sum = 0.0;
+        std::size_t n = 0;
+    };
+    auto kv_sampling = std::make_shared<KvSampling>();
+    std::function<void()> sample_kv = [&, kv_sampling]() {
+        double u = controller->kvUtilizationNow();
+        if (u > 0) {
+            kv_sampling->sum += u;
+            ++kv_sampling->n;
+        }
+        if (sim.now() + 2.0 <= cfg.duration)
+            sim.schedule(2.0, sample_kv);
+    };
+    sim.schedule(1.0, sample_kv);
+
+    sim.run();
+
+    Report report = Report::build(systemName(cfg.system), recorder, stats,
+                                  cfg.ttftCdfPoints);
+    report.kvUtilization =
+        kv_sampling->n ? kv_sampling->sum / kv_sampling->n : 0.0;
+    report.scalingOverhead = controller->scalingOverheadFraction();
+    return report;
+}
+
+} // namespace slinfer

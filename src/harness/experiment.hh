@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Experiment driver: builds a cluster, materializes a request stream
+ * from a trace plus a length dataset, runs one serving system to
+ * completion, and gathers the Report the benches print.
+ */
+
+#ifndef SLINFER_HARNESS_EXPERIMENT_HH
+#define SLINFER_HARNESS_EXPERIMENT_HH
+
+#include "harness/systems.hh"
+#include "metrics/report.hh"
+#include "workload/azure_trace.hh"
+#include "workload/dataset.hh"
+
+namespace slinfer
+{
+
+/** Physical cluster description. */
+struct ClusterSpec
+{
+    int cpuNodes = 4;
+    int gpuNodes = 4;
+    HardwareSpec cpuSpec = xeon6462c();
+    HardwareSpec gpuSpec = a100_80g();
+};
+
+/** One experiment. */
+struct ExperimentConfig
+{
+    SystemKind system = SystemKind::Slinfer;
+    ClusterSpec cluster;
+    /** Model deployed behind each ModelId in the trace. */
+    std::vector<ModelSpec> models;
+    /** Invocation trace (arrivals reference models by index). */
+    AzureTrace trace;
+    /** Request length source. */
+    DatasetKind dataset = DatasetKind::AzureConv;
+    /** Trace duration (metrics window). */
+    Seconds duration = 1800.0;
+    ControllerConfig controller;
+    std::uint64_t seed = 123;
+    /** TTFT CDF sample points for the report. */
+    std::vector<double> ttftCdfPoints = {0.25, 0.5, 1, 2, 3, 4, 5, 6};
+};
+
+/** Build `count` nodes of each spec (ids: CPUs first). */
+std::vector<std::unique_ptr<Node>>
+buildCluster(const ClusterSpec &cluster, int partitionsPerNode);
+
+/** Run the experiment to completion and summarize. */
+Report runExperiment(const ExperimentConfig &cfg);
+
+/** Convenience: n replicas of one model spec. */
+std::vector<ModelSpec> replicateModel(const ModelSpec &spec, int count);
+
+} // namespace slinfer
+
+#endif // SLINFER_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,98 @@
+#include "harness/systems.hh"
+
+#include "baselines/sllm.hh"
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Sllm: return "sllm";
+      case SystemKind::SllmC: return "sllm+c";
+      case SystemKind::SllmCS: return "sllm+c+s";
+      case SystemKind::Slinfer: return "SLINFER";
+      case SystemKind::SlinferNoCpu: return "SLINFER w/o CPU";
+      case SystemKind::SlinferNoConsolidation:
+        return "SLINFER w/o Consolidation";
+      case SystemKind::SlinferNoSharing: return "SLINFER w/o Sharing";
+      case SystemKind::SllmCsPD: return "sllm+c+s (PD-disagg)";
+      case SystemKind::SlinferPD: return "SLINFER (PD-disagg)";
+    }
+    return "?";
+}
+
+int
+systemPartitions(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::SllmCS:
+      case SystemKind::SllmCsPD:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+std::unique_ptr<ControllerBase>
+makeSystem(SystemKind kind, Simulator &sim,
+           std::vector<std::unique_ptr<Node>> &nodes,
+           std::vector<ModelSpec> modelSpecs,
+           std::vector<double> initialAvgOutput, ControllerConfig cfg,
+           Recorder &recorder, ClusterStats *stats)
+{
+    switch (kind) {
+      case SystemKind::Sllm: {
+        SllmOptions opts;
+        cfg.useCpu = false;
+        return std::make_unique<SllmController>(
+            sim, nodes, std::move(modelSpecs), std::move(initialAvgOutput),
+            cfg, recorder, stats, opts);
+      }
+      case SystemKind::SllmC: {
+        SllmOptions opts;
+        opts.useCpu = true;
+        return std::make_unique<SllmController>(
+            sim, nodes, std::move(modelSpecs), std::move(initialAvgOutput),
+            cfg, recorder, stats, opts);
+      }
+      case SystemKind::SllmCS: {
+        SllmOptions opts;
+        opts.useCpu = true;
+        opts.staticShare = true;
+        return std::make_unique<SllmController>(
+            sim, nodes, std::move(modelSpecs), std::move(initialAvgOutput),
+            cfg, recorder, stats, opts);
+      }
+      case SystemKind::SllmCsPD: {
+        SllmOptions opts;
+        opts.useCpu = true;
+        opts.staticShare = true;
+        cfg.pdDisaggregation = true;
+        return std::make_unique<SllmController>(
+            sim, nodes, std::move(modelSpecs), std::move(initialAvgOutput),
+            cfg, recorder, stats, opts);
+      }
+      case SystemKind::Slinfer:
+        break;
+      case SystemKind::SlinferNoCpu:
+        cfg.useCpu = false;
+        break;
+      case SystemKind::SlinferNoConsolidation:
+        cfg.enableConsolidation = false;
+        break;
+      case SystemKind::SlinferNoSharing:
+        cfg.enableSharing = false;
+        break;
+      case SystemKind::SlinferPD:
+        cfg.pdDisaggregation = true;
+        break;
+    }
+    return std::make_unique<SlinferController>(
+        sim, nodes, std::move(modelSpecs), std::move(initialAvgOutput),
+        cfg, recorder, stats);
+}
+
+} // namespace slinfer

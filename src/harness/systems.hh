@@ -1,0 +1,46 @@
+/**
+ * @file
+ * System factory: every serving scheme the paper evaluates, by name.
+ */
+
+#ifndef SLINFER_HARNESS_SYSTEMS_HH
+#define SLINFER_HARNESS_SYSTEMS_HH
+
+#include <memory>
+#include <string>
+
+#include "core/controller.hh"
+
+namespace slinfer
+{
+
+enum class SystemKind
+{
+    Sllm,                   ///< ServerlessLLM: exclusive GPUs
+    SllmC,                  ///< + CPU nodes
+    SllmCS,                 ///< + static half-node sharing
+    Slinfer,                ///< the paper's system
+    SlinferNoCpu,           ///< ablation: GPU only
+    SlinferNoConsolidation, ///< ablation: no preemption/bin-packing
+    SlinferNoSharing,       ///< ablation: exclusive placement
+    SllmCsPD,               ///< sllm+c+s with PD disaggregation
+    SlinferPD,              ///< SLINFER with PD disaggregation
+};
+
+/** Display name (matches the paper's labels). */
+const char *systemName(SystemKind kind);
+
+/** Partitions per node this system expects (2 for the +s variants). */
+int systemPartitions(SystemKind kind);
+
+/** Build the controller for `kind`, adjusting cfg flags accordingly. */
+std::unique_ptr<ControllerBase>
+makeSystem(SystemKind kind, Simulator &sim,
+           std::vector<std::unique_ptr<Node>> &nodes,
+           std::vector<ModelSpec> modelSpecs,
+           std::vector<double> initialAvgOutput, ControllerConfig cfg,
+           Recorder &recorder, ClusterStats *stats);
+
+} // namespace slinfer
+
+#endif // SLINFER_HARNESS_SYSTEMS_HH

@@ -1,0 +1,98 @@
+#include "hw/hardware_spec.hh"
+
+#include "common/units.hh"
+
+namespace slinfer
+{
+
+HardwareSpec
+xeon8369b()
+{
+    HardwareSpec hw;
+    hw.name = "Xeon-8369B (3rd Gen)";
+    hw.kind = HwKind::Cpu;
+    hw.peakFlops = 13e12;            // BF16 via AVX-512, no AMX
+    hw.memBandwidth = 204e9;         // 8ch DDR4-3200
+    hw.memCapacity = 256 * kGiB;
+    hw.cores = 32;
+    hw.hasMatrixAccel = false;
+    hw.weightLoadBandwidth = 20e9;   // DRAM-to-DRAM mapping
+    hw.effPrefill = 0.268;           // calibrated: Table I row 1
+    hw.effDecodeCompute = 0.30;
+    hw.effMemBw = 0.70;              // 143 GB/s effective
+    hw.iterOverhead = ms(1.0);
+    hw.perRequestOverhead = ms(0.8);
+    hw.prefillOverhead = ms(20.0);
+    hw.kvScaleCostFactor = 0.5;
+    return hw;
+}
+
+HardwareSpec
+xeon6462c()
+{
+    HardwareSpec hw;
+    hw.name = "Xeon-6462C (4th Gen, AMX)";
+    hw.kind = HwKind::Cpu;
+    hw.peakFlops = 105e12;           // AMX BF16 (paper Discussion)
+    hw.memBandwidth = 307e9;         // 8ch DDR5-4800
+    hw.memCapacity = 256 * kGiB;
+    hw.cores = 32;
+    hw.hasMatrixAccel = true;
+    hw.weightLoadBandwidth = 20e9;
+    hw.effPrefill = 0.225;           // calibrated: Table I row 2
+    hw.effDecodeCompute = 0.30;
+    hw.effMemBw = 0.65;              // 200 GB/s effective
+    hw.iterOverhead = ms(1.0);
+    hw.perRequestOverhead = ms(0.8);
+    hw.prefillOverhead = ms(20.0);
+    hw.kvScaleCostFactor = 0.5;
+    return hw;
+}
+
+HardwareSpec
+xeon6_96c()
+{
+    HardwareSpec hw = xeon6462c();
+    hw.name = "Xeon-6 (6th Gen, 96c, AMX)";
+    hw.peakFlops = 297e12;           // paper Discussion
+    hw.memBandwidth = 614e9;         // 12ch DDR5 MCR
+    hw.memCapacity = 512 * kGiB;
+    hw.cores = 96;
+    return hw;
+}
+
+HardwareSpec
+a100_80g()
+{
+    HardwareSpec hw;
+    hw.name = "A100-80GB";
+    hw.kind = HwKind::Gpu;
+    hw.peakFlops = 312e12;           // BF16 tensor core
+    hw.memBandwidth = 2039e9;        // HBM2e
+    hw.memCapacity = 80ULL * 1000 * 1000 * 1000; // vendor GB
+    hw.cores = 32;                   // host cores on the GPU node
+    hw.hasMatrixAccel = true;
+    hw.weightLoadBandwidth = 14e9;   // sllm fast loader (~1 s for 7B)
+    hw.effPrefill = 0.45;
+    hw.effDecodeCompute = 0.50;
+    hw.effMemBw = 0.65;              // ~1.3 TB/s effective
+    hw.iterOverhead = ms(1.0);
+    hw.perRequestOverhead = ms(0.05);
+    hw.prefillOverhead = ms(5.0);
+    hw.kvScaleCostFactor = 1.0;
+    return hw;
+}
+
+HardwareSpec
+scaledPartition(const HardwareSpec &base, double fraction)
+{
+    HardwareSpec hw = base;
+    hw.name = base.name + " x" + std::to_string(fraction);
+    hw.peakFlops *= fraction;
+    hw.memBandwidth *= fraction;
+    hw.memCapacity = static_cast<Bytes>(hw.memCapacity * fraction);
+    hw.cores = static_cast<int>(hw.cores * fraction);
+    return hw;
+}
+
+} // namespace slinfer

@@ -1,0 +1,47 @@
+#include "hw/host_cpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slinfer
+{
+
+double
+HostCpuModel::coreUsage(int batchSize)
+{
+    int b = std::max(batchSize, 1);
+    // One busy-waiting engine thread (~0.55 core at batch 1) plus a
+    // logarithmically growing sampling/detokenization share, capped
+    // just below one core (Fig. 10 never exceeds one core).
+    double usage = 0.55 + 0.055 * std::log2(static_cast<double>(b) + 1.0);
+    return std::min(usage, 0.98);
+}
+
+double
+HostCpuModel::stressSlowdown(int stressProcs, int hostCores)
+{
+    if (stressProcs <= 0 || hostCores <= 0)
+        return 1.0;
+    // Calibrated: 64 stress processes on 32 cores cost 4% (Fig. 11).
+    double pressure = static_cast<double>(stressProcs) /
+                      static_cast<double>(2 * hostCores);
+    return 1.0 + 0.04 * std::min(pressure, 1.0);
+}
+
+double
+HostCpuModel::colocatedCoreUsage(int colocated)
+{
+    int n = std::max(colocated, 1);
+    // Instances take turns on the GPU: only one busy-waits at full rate
+    // at a time; the rest idle on the scheduler. Fig. 28: ~0.65 core for
+    // one instance, slightly above one core at eight.
+    return 0.60 + 0.07 * n + preprocessingCores() * n;
+}
+
+double
+HostCpuModel::preprocessingCores()
+{
+    return 0.01;
+}
+
+} // namespace slinfer

@@ -1,0 +1,60 @@
+#include "hw/memcost_model.hh"
+
+#include "common/units.hh"
+
+namespace slinfer
+{
+
+namespace
+{
+
+// Fitted to Fig. 17: 32 GB -> 64 GB takes 1.9 s => 1.9 / 64 s/GB up;
+// 32 GB -> 16 GB takes 0.3 s => 0.3 / 16 s/GB down. Vendor GB (1e9).
+constexpr double kUpSecondsPerByte = 1.9 / 64e9;
+constexpr double kDownSecondsPerByte = 0.3 / 16e9;
+constexpr Seconds kResizeFixed = 0.01;
+
+// Fixed engine re-initialization on cold start beyond raw copy.
+constexpr Seconds kLoadFixed = 0.10;
+constexpr Seconds kUnloadFixed = 0.05;
+
+// 100 Gbps = 12.5 GB/s, plus a fixed RTT/setup cost.
+constexpr double kFabricBytesPerSecond = 12.5e9;
+constexpr Seconds kFabricFixed = 0.002;
+
+} // namespace
+
+Seconds
+MemCostModel::kvResizeTime(const HardwareSpec &hw, Bytes oldBytes,
+                           Bytes newBytes)
+{
+    if (oldBytes == newBytes)
+        return 0.0;
+    double slope =
+        newBytes > oldBytes ? kUpSecondsPerByte : kDownSecondsPerByte;
+    return (kResizeFixed + slope * static_cast<double>(newBytes)) *
+           hw.kvScaleCostFactor;
+}
+
+Seconds
+MemCostModel::weightLoadTime(const HardwareSpec &hw, const ModelSpec &m)
+{
+    return kLoadFixed + static_cast<double>(m.weightBytes()) /
+                            hw.weightLoadBandwidth;
+}
+
+Seconds
+MemCostModel::weightUnloadTime(const HardwareSpec &hw, const ModelSpec &m)
+{
+    (void)hw;
+    (void)m;
+    return kUnloadFixed;
+}
+
+Seconds
+MemCostModel::kvMigrationTime(Bytes bytes)
+{
+    return kFabricFixed + static_cast<double>(bytes) / kFabricBytesPerSecond;
+}
+
+} // namespace slinfer

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Memory-operation cost model: KV-cache resize latency (paper Fig. 17),
+ * weight load/unload latency (ServerlessLLM-style loader, §IX-A), and
+ * cross-node KV migration over the 100 Gbps fabric (§IX-G).
+ *
+ * The resize model is linear in the size of the *new* allocation with
+ * separate slopes for scale-up and scale-down, fitted to the paper's
+ * two published points: on the GPU, scaling a 32 GB cache up to 64 GB
+ * takes 1.9 s and down to 16 GB takes 0.3 s.
+ */
+
+#ifndef SLINFER_HW_MEMCOST_MODEL_HH
+#define SLINFER_HW_MEMCOST_MODEL_HH
+
+#include "hw/hardware_spec.hh"
+#include "hw/model_spec.hh"
+
+namespace slinfer
+{
+
+class MemCostModel
+{
+  public:
+    /** Latency of resizing a paged KV cache from `oldBytes` to
+     *  `newBytes` on the given hardware. */
+    static Seconds kvResizeTime(const HardwareSpec &hw, Bytes oldBytes,
+                                Bytes newBytes);
+
+    /** Cold-start weight load (checkpoint already cached in host DRAM). */
+    static Seconds weightLoadTime(const HardwareSpec &hw,
+                                  const ModelSpec &m);
+
+    /** Tear-down / unload latency when reclaiming an instance. */
+    static Seconds weightUnloadTime(const HardwareSpec &hw,
+                                    const ModelSpec &m);
+
+    /** Transfer time of `bytes` of KV state across the 100 Gbps fabric. */
+    static Seconds kvMigrationTime(Bytes bytes);
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_HW_MEMCOST_MODEL_HH

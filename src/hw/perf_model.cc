@@ -1,0 +1,84 @@
+#include "hw/perf_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+Seconds
+PerfModel::prefillTime(const HardwareSpec &hw, const ModelSpec &m,
+                       Tokens inputLen)
+{
+    if (inputLen <= 0)
+        panic("prefillTime: non-positive input length");
+    double flops = m.flopsPerToken() * static_cast<double>(inputLen) +
+                   m.attnFlops(inputLen);
+    double t_compute = flops / (hw.peakFlops * hw.effPrefill);
+    double t_mem = static_cast<double>(m.weightBytes()) / hw.effectiveBw();
+    return std::max(t_compute, t_mem) + hw.prefillOverhead;
+}
+
+Seconds
+PerfModel::decodeTime(const HardwareSpec &hw, const ModelSpec &m,
+                      int batchSize, Tokens avgLen)
+{
+    if (batchSize <= 0)
+        panic("decodeTime: non-positive batch size");
+    avgLen = std::max<Tokens>(avgLen, 1);
+    double kv_bytes = static_cast<double>(batchSize) *
+                      static_cast<double>(avgLen) *
+                      static_cast<double>(m.kvBytesPerToken());
+    // KV reads may be served by auxiliary (CPU-offload) bandwidth in
+    // parallel with device memory (the NEO baseline); weights always
+    // stream from device memory.
+    double t_mem =
+        static_cast<double>(m.weightBytes()) / hw.effectiveBw() +
+        kv_bytes / (hw.effectiveBw() + hw.auxKvBandwidth);
+    double t_compute = static_cast<double>(batchSize) * m.flopsPerToken() /
+                       (hw.peakFlops * hw.effDecodeCompute);
+    return t_mem + t_compute + hw.iterOverhead +
+           static_cast<double>(batchSize) * hw.perRequestOverhead;
+}
+
+int
+PerfModel::maxBatchWithinTpot(const HardwareSpec &hw, const ModelSpec &m,
+                              Tokens avgLen, Seconds tpotSlo)
+{
+    if (decodeTime(hw, m, 1, avgLen) > tpotSlo)
+        return 0;
+    // Decode time is monotone in batch size; binary search the boundary.
+    int lo = 1;
+    int hi = 2;
+    while (hi < 1 << 16 && decodeTime(hw, m, hi, avgLen) <= tpotSlo) {
+        lo = hi;
+        hi *= 2;
+    }
+    while (lo + 1 < hi) {
+        int mid = (lo + hi) / 2;
+        if (decodeTime(hw, m, mid, avgLen) <= tpotSlo)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+HardwareSpec
+PerfModel::tensorParallel(const HardwareSpec &hw, int tpDegree)
+{
+    if (tpDegree <= 1)
+        return hw;
+    // All-reduce after every layer costs efficiency; NVLink-class links
+    // keep the penalty modest for TP=2.
+    const double comm_eff = 0.85;
+    HardwareSpec out = hw;
+    out.name = hw.name + " xTP" + std::to_string(tpDegree);
+    out.peakFlops *= tpDegree * comm_eff;
+    out.memBandwidth *= tpDegree * comm_eff;
+    out.memCapacity *= tpDegree;
+    return out;
+}
+
+} // namespace slinfer

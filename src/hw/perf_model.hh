@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Roofline performance model: iteration latency as a function of
+ * (hardware, model, input length, batch size, average context length).
+ *
+ * Prefill: max(compute, weight-streaming) + fixed overhead, where the
+ * compute term includes the quadratic attention FLOPs.
+ *
+ * Decode (one token for every request in a batch of size B with average
+ * context length L):
+ *     (weights + B * L * kv_per_token) / effective_bandwidth
+ *   + B * flops_per_token / (peak * eff_decode)
+ *   + iter_overhead + B * per_request_overhead
+ * The weights are read once per iteration regardless of B, which is why
+ * batching is sub-linear (paper Fig. 7).
+ *
+ * Calibration: the hw unit tests assert that this model reproduces the
+ * paper's Table I (Llama-2-7B on 3rd/4th-gen Xeon) within 10%.
+ */
+
+#ifndef SLINFER_HW_PERF_MODEL_HH
+#define SLINFER_HW_PERF_MODEL_HH
+
+#include "hw/hardware_spec.hh"
+#include "hw/model_spec.hh"
+
+namespace slinfer
+{
+
+/**
+ * Pure (deterministic) latency model. Ground-truth execution multiplies
+ * these by lognormal noise in the engine; SLINFER's quantifier only sees
+ * sampled grid points of this model.
+ */
+class PerfModel
+{
+  public:
+    /** Time of a prefill iteration over `inputLen` tokens. */
+    static Seconds prefillTime(const HardwareSpec &hw, const ModelSpec &m,
+                               Tokens inputLen);
+
+    /**
+     * Time of one decode iteration for a batch of `batchSize` requests
+     * whose average context (input + generated) length is `avgLen`.
+     */
+    static Seconds decodeTime(const HardwareSpec &hw, const ModelSpec &m,
+                              int batchSize, Tokens avgLen);
+
+    /**
+     * Largest batch size whose decode iteration stays within
+     * `tpotSlo` at average length `avgLen`; 0 when even batch 1 misses.
+     */
+    static int maxBatchWithinTpot(const HardwareSpec &hw,
+                                  const ModelSpec &m, Tokens avgLen,
+                                  Seconds tpotSlo);
+
+    /**
+     * Effective spec for a tensor-parallel deployment over `tpDegree`
+     * devices: aggregated compute/bandwidth with a communication
+     * efficiency penalty.
+     */
+    static HardwareSpec tensorParallel(const HardwareSpec &hw,
+                                       int tpDegree);
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_HW_PERF_MODEL_HH

@@ -1,0 +1,51 @@
+#include "metrics/recorder.hh"
+
+namespace slinfer
+{
+
+void
+Recorder::onArrival(const Request &req)
+{
+    (void)req;
+    ++total_;
+}
+
+void
+Recorder::onDrop(const Request &req, Seconds now)
+{
+    (void)req;
+    (void)now;
+    ++dropped_;
+}
+
+void
+Recorder::onComplete(const Request &req, Seconds now)
+{
+    (void)now;
+    ++completed_;
+    generatedTokens_ += req.generated;
+    if (!req.sloViolated)
+        ++sloMet_;
+    if (req.firstTokenTime >= 0)
+        ttft_.add(req.firstTokenTime - req.arrival);
+    if (req.migrations > 0)
+        ++migrated_;
+}
+
+double
+Recorder::sloRate() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(sloMet_) / static_cast<double>(total_);
+}
+
+double
+Recorder::migrationRate() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(migrated_) / static_cast<double>(total_);
+}
+
+} // namespace slinfer

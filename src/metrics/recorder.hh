@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-request outcome accounting: SLO attainment, TTFT distribution,
+ * drops, migrations. One Recorder instance observes a whole experiment.
+ */
+
+#ifndef SLINFER_METRICS_RECORDER_HH
+#define SLINFER_METRICS_RECORDER_HH
+
+#include "common/stats.hh"
+#include "engine/request.hh"
+
+namespace slinfer
+{
+
+class Recorder
+{
+  public:
+    void onArrival(const Request &req);
+    void onDrop(const Request &req, Seconds now);
+    void onComplete(const Request &req, Seconds now);
+
+    std::size_t total() const { return total_; }
+    std::size_t completed() const { return completed_; }
+    std::size_t dropped() const { return dropped_; }
+    /** Requests that completed with every token inside its deadline. */
+    std::size_t sloMet() const { return sloMet_; }
+    double sloRate() const;
+
+    /** TTFT samples of requests that produced a first token. */
+    const CdfBuilder &ttftCdf() const { return ttft_; }
+    double p95Ttft() const { return ttft_.percentile(95.0); }
+
+    /** Total generated tokens across completed requests. */
+    Tokens generatedTokens() const { return generatedTokens_; }
+
+    /** Requests that were evicted/migrated at least once. */
+    std::size_t migratedRequests() const { return migrated_; }
+    double migrationRate() const;
+
+  private:
+    std::size_t total_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t dropped_ = 0;
+    std::size_t sloMet_ = 0;
+    std::size_t migrated_ = 0;
+    Tokens generatedTokens_ = 0;
+    CdfBuilder ttft_;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_METRICS_RECORDER_HH

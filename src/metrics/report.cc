@@ -1,0 +1,49 @@
+#include "metrics/report.hh"
+
+#include "metrics/cluster_stats.hh"
+#include "metrics/recorder.hh"
+
+namespace slinfer
+{
+
+Report
+Report::build(const std::string &system, const Recorder &rec,
+              const ClusterStats &stats,
+              const std::vector<double> &ttftCdfPoints)
+{
+    Report r;
+    r.system = system;
+    r.totalRequests = rec.total();
+    r.completed = rec.completed();
+    r.dropped = rec.dropped();
+    r.sloMet = rec.sloMet();
+    r.sloRate = rec.sloRate();
+
+    r.avgCpuNodesUsed = stats.avgNodesUsed(HwKind::Cpu);
+    r.avgGpuNodesUsed = stats.avgNodesUsed(HwKind::Gpu);
+    r.decodeSpeedCpu = stats.decodeSpeed(HwKind::Cpu);
+    r.decodeSpeedGpu = stats.decodeSpeed(HwKind::Gpu);
+
+    r.p50Ttft = rec.ttftCdf().percentile(50.0);
+    r.p95Ttft = rec.ttftCdf().percentile(95.0);
+
+    // Normalize by total arrivals: dropped requests keep the CDF from
+    // reaching 1.0, matching the presentation of Fig. 22.
+    double frac_completed =
+        rec.total() ? static_cast<double>(rec.ttftCdf().count()) /
+                          static_cast<double>(rec.total())
+                    : 0.0;
+    for (double x : ttftCdfPoints) {
+        r.ttftCdf.emplace_back(x,
+                               rec.ttftCdf().fractionBelow(x) *
+                                   frac_completed);
+    }
+
+    r.gpuMemUtilMean = stats.gpuMemUtilCdf().mean();
+    r.batchMean = stats.batchCdf().mean();
+    r.migrationRate = rec.migrationRate();
+    r.gpuTimeline = stats.gpuTimeline();
+    return r;
+}
+
+} // namespace slinfer

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The consolidated result of one experiment run: everything the paper's
+ * figures plot, gathered from the Recorder and ClusterStats.
+ */
+
+#ifndef SLINFER_METRICS_REPORT_HH
+#define SLINFER_METRICS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+class Recorder;
+class ClusterStats;
+
+struct Report
+{
+    std::string system;
+
+    std::size_t totalRequests = 0;
+    std::size_t completed = 0;
+    std::size_t dropped = 0;
+    std::size_t sloMet = 0;
+    double sloRate = 0.0;
+
+    double avgCpuNodesUsed = 0.0;
+    double avgGpuNodesUsed = 0.0;
+    double decodeSpeedCpu = 0.0;
+    double decodeSpeedGpu = 0.0;
+
+    double p50Ttft = 0.0;
+    double p95Ttft = 0.0;
+    /** TTFT CDF evaluated at fixed points, normalized by *total*
+     *  requests (dropped requests never reach 1.0, as in Fig. 22). */
+    std::vector<std::pair<double, double>> ttftCdf;
+
+    double gpuMemUtilMean = 0.0;
+    double batchMean = 0.0;
+    double migrationRate = 0.0;
+
+    /** Mean KV allocation utilization across instances (Fig. 31). */
+    double kvUtilization = 0.0;
+    /** Fraction of instance lifetime blocked on KV resizes (Fig. 31). */
+    double scalingOverhead = 0.0;
+
+    /** (time, GPUs in use) timeline (Fig. 23). */
+    std::vector<std::pair<Seconds, double>> gpuTimeline;
+
+    /** Build the summary from the two collectors. */
+    static Report build(const std::string &system, const Recorder &rec,
+                        const ClusterStats &stats,
+                        const std::vector<double> &ttftCdfPoints);
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_METRICS_REPORT_HH

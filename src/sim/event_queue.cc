@@ -1,0 +1,72 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+void
+EventHandle::cancel()
+{
+    if (alive_ && *alive_)
+        *alive_ = false;
+}
+
+bool
+EventHandle::pending() const
+{
+    return alive_ && *alive_;
+}
+
+EventHandle
+EventQueue::schedule(Seconds when, Callback cb)
+{
+    auto alive = std::make_shared<bool>(true);
+    heap_.push(Entry{when, nextSeq_++, std::move(cb), alive});
+    ++live_;
+    return EventHandle(alive);
+}
+
+void
+EventQueue::dropDead() const
+{
+    while (!heap_.empty() && !*heap_.top().alive) {
+        heap_.pop();
+        --live_;
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    dropDead();
+    return heap_.empty();
+}
+
+Seconds
+EventQueue::nextTime() const
+{
+    dropDead();
+    if (heap_.empty())
+        panic("EventQueue::nextTime on empty queue");
+    return heap_.top().when;
+}
+
+Seconds
+EventQueue::popAndRun()
+{
+    dropDead();
+    if (heap_.empty())
+        panic("EventQueue::popAndRun on empty queue");
+    // priority_queue::top returns const&, so copy the callback out before
+    // popping. Entries are small; this is not on a critical path that
+    // matters relative to the callbacks themselves.
+    Entry e = heap_.top();
+    heap_.pop();
+    --live_;
+    *e.alive = false;
+    e.cb();
+    return e.when;
+}
+
+} // namespace slinfer

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Priority event queue for the discrete-event simulator.
+ *
+ * Events are (time, sequence, callback) triples; ties on time are broken
+ * by insertion order so the simulation is fully deterministic. Events
+ * can be cancelled via the handle returned at scheduling time;
+ * cancellation is lazy (the entry is skipped at pop time).
+ */
+
+#ifndef SLINFER_SIM_EVENT_QUEUE_HH
+#define SLINFER_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+/** Opaque handle allowing a scheduled event to be cancelled. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. Safe to call twice. */
+    void cancel();
+
+    /** True if the handle refers to a still-pending event. */
+    bool pending() const;
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::shared_ptr<bool> alive)
+        : alive_(std::move(alive)) {}
+
+    std::shared_ptr<bool> alive_;
+};
+
+/**
+ * Time-ordered queue of callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule `cb` at absolute time `when`. */
+    EventHandle schedule(Seconds when, Callback cb);
+
+    /** True if no live events remain. */
+    bool empty() const;
+
+    /** Time of the earliest live event; panics when empty. */
+    Seconds nextTime() const;
+
+    /**
+     * Pop and run the earliest live event, returning its time.
+     * Panics when empty.
+     */
+    Seconds popAndRun();
+
+    /**
+     * Number of queued events. Cancelled entries are counted until they
+     * are lazily swept at the head of the heap, so this is an upper
+     * bound on the live events.
+     */
+    std::size_t size() const { return live_; }
+
+  private:
+    struct Entry
+    {
+        Seconds when;
+        std::uint64_t seq;
+        Callback cb;
+        std::shared_ptr<bool> alive;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void dropDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    mutable std::size_t live_ = 0;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_SIM_EVENT_QUEUE_HH

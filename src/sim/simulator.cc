@@ -1,0 +1,49 @@
+#include "sim/simulator.hh"
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+EventHandle
+Simulator::schedule(Seconds delay, EventQueue::Callback cb)
+{
+    if (delay < 0)
+        panic("Simulator::schedule with negative delay");
+    return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventHandle
+Simulator::scheduleAt(Seconds when, EventQueue::Callback cb)
+{
+    if (when < now_)
+        panic("Simulator::scheduleAt in the past");
+    return queue_.schedule(when, std::move(cb));
+}
+
+Seconds
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        // Advance the clock before running the callback so that now()
+        // observed inside the callback equals the event's own time.
+        now_ = queue_.nextTime();
+        queue_.popAndRun();
+        ++eventsRun_;
+    }
+    return now_;
+}
+
+Seconds
+Simulator::runUntil(Seconds until)
+{
+    while (!queue_.empty() && queue_.nextTime() <= until) {
+        now_ = queue_.nextTime();
+        queue_.popAndRun();
+        ++eventsRun_;
+    }
+    now_ = until > now_ ? until : now_;
+    return now_;
+}
+
+} // namespace slinfer

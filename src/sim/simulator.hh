@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The discrete-event simulator: a clock plus an event queue.
+ *
+ * All cluster components hold a reference to one Simulator, schedule
+ * callbacks with relative delays, and read the current time via now().
+ */
+
+#ifndef SLINFER_SIM_SIMULATOR_HH
+#define SLINFER_SIM_SIMULATOR_HH
+
+#include "sim/event_queue.hh"
+
+namespace slinfer
+{
+
+class Simulator
+{
+  public:
+    /** Current simulated time. */
+    Seconds now() const { return now_; }
+
+    /** Schedule `cb` after `delay` seconds (>= 0). */
+    EventHandle schedule(Seconds delay, EventQueue::Callback cb);
+
+    /** Schedule `cb` at absolute time `when` (>= now). */
+    EventHandle scheduleAt(Seconds when, EventQueue::Callback cb);
+
+    /** Run until the queue drains. Returns the final time. */
+    Seconds run();
+
+    /**
+     * Run events with time <= `until`, then set the clock to `until`.
+     * Events scheduled beyond `until` stay queued.
+     */
+    Seconds runUntil(Seconds until);
+
+    /** True if no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsRun() const { return eventsRun_; }
+
+  private:
+    EventQueue queue_;
+    Seconds now_ = 0.0;
+    std::uint64_t eventsRun_ = 0;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_SIM_SIMULATOR_HH

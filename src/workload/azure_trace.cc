@@ -1,0 +1,97 @@
+#include "workload/azure_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+double
+AzureTrace::aggregateRpm(Seconds duration) const
+{
+    if (duration <= 0)
+        return 0.0;
+    return static_cast<double>(arrivals.size()) / (duration / 60.0);
+}
+
+double
+AzureTrace::topShare(double topFrac) const
+{
+    if (arrivals.empty() || perModelRpm.empty())
+        return 0.0;
+    std::vector<double> rates = perModelRpm;
+    std::sort(rates.begin(), rates.end(), std::greater<>());
+    auto top = static_cast<std::size_t>(
+        std::ceil(topFrac * static_cast<double>(rates.size())));
+    top = std::max<std::size_t>(top, 1);
+    double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+    double head = std::accumulate(rates.begin(), rates.begin() + top, 0.0);
+    return total > 0 ? head / total : 0.0;
+}
+
+AzureTrace
+generateAzureTrace(const AzureTraceConfig &cfg)
+{
+    if (cfg.numModels <= 0)
+        fatal("generateAzureTrace: numModels must be positive");
+
+    Rng rng(cfg.seed);
+    Rng rate_rng = rng.fork(0xA11CE);
+
+    // Per-model popularity weights: bounded Pareto, then normalized so
+    // the fleet-wide mean is cfg.perModelRpm requests per minute.
+    std::vector<double> weights(cfg.numModels);
+    for (auto &w : weights)
+        w = rate_rng.boundedPareto(1.0, 400.0, cfg.paretoAlpha);
+    double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    double total_rpm = cfg.perModelRpm * cfg.numModels;
+
+    AzureTrace trace;
+    trace.perModelRpm.resize(cfg.numModels);
+
+    for (int m = 0; m < cfg.numModels; ++m) {
+        double rpm = total_rpm * weights[m] / wsum;
+        trace.perModelRpm[m] = rpm;
+        double rps = rpm / 60.0;
+
+        // Burst-episode process: episodes arrive as a Poisson process;
+        // each carries a geometric number of requests spread over a
+        // short window. Hot models get larger episodes, producing the
+        // 1..128+ concurrency range of Fig. 12.
+        double mean_burst =
+            (1.0 + 1.35 * std::sqrt(rpm)) * cfg.burstScale;
+        mean_burst = std::min(mean_burst, 160.0);
+        double episode_rate = rps / mean_burst;
+
+        Rng mrng = rng.fork(0xB00 + static_cast<std::uint64_t>(m));
+        Seconds t = mrng.exponential(std::max(episode_rate, 1e-9));
+        while (t < cfg.duration) {
+            // Geometric episode size with the calibrated mean.
+            int count = 1;
+            double p_continue = 1.0 - 1.0 / mean_burst;
+            while (count < 256 && mrng.chance(p_continue))
+                ++count;
+
+            Seconds at = t;
+            for (int i = 0; i < count && at < cfg.duration; ++i) {
+                trace.arrivals.push_back(
+                    {at, static_cast<ModelId>(m)});
+                at += mrng.exponential(1.0 / 0.6); // ~0.6 s intra-burst gap
+            }
+            t += mrng.exponential(std::max(episode_rate, 1e-9));
+        }
+    }
+
+    std::sort(trace.arrivals.begin(), trace.arrivals.end(),
+              [](const Arrival &a, const Arrival &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.model < b.model;
+              });
+    return trace;
+}
+
+} // namespace slinfer

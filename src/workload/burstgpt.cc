@@ -1,0 +1,51 @@
+#include "workload/burstgpt.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+AzureTrace
+generateBurstGpt(const BurstGptConfig &cfg)
+{
+    if (cfg.aggregateRps <= 0 || cfg.numModels <= 0)
+        fatal("generateBurstGpt: bad configuration");
+
+    Rng rng(cfg.seed);
+    Rng pick_rng = rng.fork(0xC0FFEE);
+    Rng gap_rng = rng.fork(0xBEEF);
+
+    // Pareto popularity split across models.
+    std::vector<double> weights(cfg.numModels);
+    for (auto &w : weights)
+        w = pick_rng.boundedPareto(1.0, 300.0, cfg.paretoAlpha);
+    std::vector<double> cum(cfg.numModels);
+    std::partial_sum(weights.begin(), weights.end(), cum.begin());
+    double wsum = cum.back();
+
+    // Gamma inter-arrivals with mean 1 / aggregateRps.
+    double scale = 1.0 / (cfg.aggregateRps * cfg.gammaShape);
+
+    AzureTrace trace;
+    trace.perModelRpm.assign(cfg.numModels, 0.0);
+
+    Seconds t = 0.0;
+    while (true) {
+        t += gap_rng.gamma(cfg.gammaShape, scale);
+        if (t >= cfg.duration)
+            break;
+        double u = pick_rng.uniform(0.0, wsum);
+        auto it = std::lower_bound(cum.begin(), cum.end(), u);
+        auto m = static_cast<ModelId>(it - cum.begin());
+        trace.arrivals.push_back({t, m});
+        trace.perModelRpm[m] += 1.0;
+    }
+    for (auto &rpm : trace.perModelRpm)
+        rpm /= cfg.duration / 60.0;
+    return trace;
+}
+
+} // namespace slinfer

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * BurstGPT-style invocation generator (paper §IX-I2, Fig. 27).
+ *
+ * BurstGPT is a centralized single-stream LLM trace whose inter-arrival
+ * times are well modeled by a Gamma distribution with shape < 1
+ * (bursty). Following the paper, we distribute the aggregate stream
+ * over 64 models with a Pareto popularity split to emulate the
+ * serverless multi-model environment, and sweep the aggregate RPS.
+ */
+
+#ifndef SLINFER_WORKLOAD_BURSTGPT_HH
+#define SLINFER_WORKLOAD_BURSTGPT_HH
+
+#include <cstdint>
+
+#include "workload/azure_trace.hh"
+
+namespace slinfer
+{
+
+struct BurstGptConfig
+{
+    double aggregateRps = 1.0;
+    Seconds duration = 1800.0;
+    int numModels = 64;
+    /** Gamma shape of inter-arrival times; < 1 means bursty. */
+    double gammaShape = 0.55;
+    double paretoAlpha = 1.05;
+    std::uint64_t seed = 7;
+};
+
+/** Generate a BurstGPT-like trace (sorted by time). */
+AzureTrace generateBurstGpt(const BurstGptConfig &cfg);
+
+} // namespace slinfer
+
+#endif // SLINFER_WORKLOAD_BURSTGPT_HH

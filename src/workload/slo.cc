@@ -1,0 +1,29 @@
+#include "workload/slo.hh"
+
+#include <algorithm>
+
+namespace slinfer
+{
+
+Seconds
+SloSpec::ttft(Tokens inputLen) const
+{
+    double scaled = static_cast<double>(inputLen) / tokensPerSecondBudget;
+    return std::min(std::max(ttftFloor, scaled), ttftCeiling);
+}
+
+SloSpec
+defaultSlo()
+{
+    return SloSpec{};
+}
+
+SloSpec
+tightSlo(Seconds tpot)
+{
+    SloSpec slo;
+    slo.tpot = tpot;
+    return slo;
+}
+
+} // namespace slinfer

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Service-level objectives for interactive LLM serving.
+ *
+ * Following the paper (§IX-A, after Sarathi-Serve and DistServe):
+ *   TTFT_SLO(L) = min(max(0.5, L / 512), 8) seconds
+ *   TPOT_SLO    = 0.25 seconds
+ * Requests served by a cold-started instance receive a grace window on
+ * TTFT equal to the cold-start duration (§IX-A "Systems Behavior and
+ * Fairness").
+ */
+
+#ifndef SLINFER_WORKLOAD_SLO_HH
+#define SLINFER_WORKLOAD_SLO_HH
+
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+/** SLO configuration; the defaults are the paper's. */
+struct SloSpec
+{
+    /** TTFT scale: one second per this many input tokens. */
+    double tokensPerSecondBudget = 512.0;
+    Seconds ttftFloor = 0.5;
+    Seconds ttftCeiling = 8.0;
+    Seconds tpot = 0.25;
+
+    /** TTFT SLO for a request with the given input length. */
+    Seconds ttft(Tokens inputLen) const;
+};
+
+/** The paper's default SLO. */
+SloSpec defaultSlo();
+
+/** A tighter TPOT SLO (the paper's §IV-A2 limitation analysis). */
+SloSpec tightSlo(Seconds tpot);
+
+} // namespace slinfer
+
+#endif // SLINFER_WORKLOAD_SLO_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Baseline tests (§IX-A): the sllm family's exclusive allocation,
+ * concurrency caps, CPU preference under +c, static partitioning under
+ * +s (including the 13B-on-CPU full-node exception), and the NEO
+ * CPU-assistance spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/neo.hh"
+#include "baselines/sllm.hh"
+#include "harness/experiment.hh"
+#include "metrics/recorder.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+TEST(SllmCaps, MatchPaperTables)
+{
+    // §IX-A: (59, 15, 6) CPU / (160, 32, 16) GPU unshared;
+    // (23, 4, 6) / (71, 12, 4) shared.
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Small3B,
+                                             HwKind::Cpu, false), 59);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Mid7B,
+                                             HwKind::Cpu, false), 15);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Large13B,
+                                             HwKind::Cpu, false), 6);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Small3B,
+                                             HwKind::Gpu, false), 160);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Mid7B,
+                                             HwKind::Gpu, false), 32);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Large13B,
+                                             HwKind::Gpu, false), 16);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Small3B,
+                                             HwKind::Cpu, true), 23);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Mid7B,
+                                             HwKind::Cpu, true), 4);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Large13B,
+                                             HwKind::Cpu, true), 6);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Mid7B,
+                                             HwKind::Gpu, true), 12);
+    EXPECT_EQ(SllmController::concurrencyCap(ModelClass::Large13B,
+                                             HwKind::Gpu, true), 4);
+}
+
+struct SllmHarness
+{
+    void
+    build(int cpus, int gpus, std::vector<ModelSpec> model_specs,
+          SllmOptions opts, int partitions = 1)
+    {
+        cluster.cpuNodes = cpus;
+        cluster.gpuNodes = gpus;
+        nodes = buildCluster(cluster, partitions);
+        models = std::move(model_specs);
+        std::vector<double> avg(models.size(), 250.0);
+        ControllerConfig cfg;
+        ctl = std::make_unique<SllmController>(sim, nodes, models, avg,
+                                               cfg, recorder, nullptr,
+                                               opts);
+    }
+
+    Request &
+    submitAt(ModelId model, Seconds arrival, Tokens in, Tokens out)
+    {
+        auto r = std::make_unique<Request>();
+        r->id = nextReq++;
+        r->model = model;
+        r->arrival = arrival;
+        r->inputLen = in;
+        r->targetOutput = out;
+        r->ttftSlo = std::min(std::max(0.5, in / 512.0), 8.0);
+        r->tpotSlo = 0.25;
+        Request *p = r.get();
+        reqs.push_back(std::move(r));
+        sim.scheduleAt(arrival, [this, p] { ctl->submit(p); });
+        return *p;
+    }
+
+    ClusterSpec cluster;
+    Simulator sim;
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::vector<ModelSpec> models;
+    Recorder recorder;
+    std::unique_ptr<SllmController> ctl;
+    std::vector<std::unique_ptr<Request>> reqs;
+    RequestId nextReq = 1;
+};
+
+struct SllmFixture : public ::testing::Test, public SllmHarness
+{
+};
+
+TEST_F(SllmFixture, SllmNeverUsesCpu)
+{
+    build(2, 1, {llama2_7b()}, SllmOptions{});
+    submitAt(0, 0.0, 1024, 50);
+    sim.run();
+    EXPECT_EQ(recorder.completed(), 1u);
+    EXPECT_EQ(ctl->totalBusySeconds(HwKind::Cpu), 0.0);
+    EXPECT_GT(ctl->totalBusySeconds(HwKind::Gpu), 0.0);
+}
+
+TEST_F(SllmFixture, ExclusiveAllocationOnePerNode)
+{
+    build(0, 2, {llama2_7b(), llama2_7b(), llama2_7b()}, SllmOptions{});
+    submitAt(0, 0.0, 1024, 300);
+    submitAt(1, 0.1, 1024, 300);
+    Request &r3 = submitAt(2, 0.2, 256, 10);
+    sim.run();
+    // Only two GPUs: the third model's request queues and drops.
+    EXPECT_EQ(r3.state, RequestState::Dropped);
+}
+
+TEST_F(SllmFixture, ConcurrencyCapTriggersScaleOut)
+{
+    SllmOptions opts;
+    build(0, 2, {llama2_7b()}, opts);
+    // 33 concurrent requests exceed the GPU cap of 32; a second
+    // (fragmented) instance appears on the second GPU.
+    for (int i = 0; i < 33; ++i)
+        submitAt(0, 0.0 + i * 0.01, 512, 200);
+    sim.run();
+    EXPECT_EQ(ctl->instancesCreated(), 2u);
+    EXPECT_EQ(recorder.completed(), 33u);
+}
+
+TEST_F(SllmFixture, SllmCPrefersCpu)
+{
+    SllmOptions opts;
+    opts.useCpu = true;
+    build(1, 1, {llama2_7b()}, opts);
+    submitAt(0, 0.0, 1024, 30);
+    sim.runUntil(2.0);
+    ASSERT_EQ(ctl->models()[0].instances.size(), 1u);
+    EXPECT_EQ(ctl->models()[0].instances[0]->execSpec.kind, HwKind::Cpu);
+    sim.run();
+}
+
+TEST_F(SllmFixture, CpuBlindnessServes34BOnGpuOnly)
+{
+    SllmOptions opts;
+    opts.useCpu = true;
+    build(1, 2, {codellama_34b()}, opts);
+    Request &r = submitAt(0, 0.0, 2048, 30);
+    sim.run();
+    EXPECT_EQ(r.state, RequestState::Completed);
+    EXPECT_EQ(ctl->totalBusySeconds(HwKind::Cpu), 0.0);
+}
+
+TEST_F(SllmFixture, StaticShareHostsTwoPerNode)
+{
+    SllmOptions opts;
+    opts.useCpu = true;
+    opts.staticShare = true;
+    build(0, 1, {llama2_7b(), llama2_7b()}, opts, /*partitions=*/2);
+    submitAt(0, 0.0, 1024, 200);
+    submitAt(1, 0.1, 1024, 200);
+    sim.runUntil(5.0);
+    // Both models run on the single node, one per half-partition.
+    EXPECT_EQ(ctl->models()[0].instances.size(), 1u);
+    EXPECT_EQ(ctl->models()[1].instances.size(), 1u);
+    EXPECT_NE(ctl->models()[0].instances[0]->primary,
+              ctl->models()[1].instances[0]->primary);
+    // Each got half the node's memory.
+    EXPECT_EQ(ctl->models()[0].instances[0]->primary->mem.capacity(),
+              a100_80g().memCapacity / 2);
+    sim.run();
+    EXPECT_EQ(recorder.completed(), 2u);
+}
+
+TEST_F(SllmFixture, ThirteenBOnSharedCpuTakesWholeNode)
+{
+    SllmOptions opts;
+    opts.useCpu = true;
+    opts.staticShare = true;
+    build(1, 1, {llama2_13b(), llama2_13b()}, opts, 2);
+    submitAt(0, 0.0, 1024, 200);
+    submitAt(1, 0.1, 1024, 200);
+    sim.runUntil(5.0);
+    // The first 13B claimed both CPU half-partitions (the paper's
+    // exception); the second went elsewhere (GPU halves).
+    ASSERT_EQ(ctl->models()[0].instances.size(), 1u);
+    const Instance *first = ctl->models()[0].instances[0];
+    EXPECT_EQ(first->execSpec.kind, HwKind::Cpu);
+    EXPECT_EQ(first->extraHolds.size(), 1u);
+    // Its exec spec is the full node, not the half partition.
+    EXPECT_DOUBLE_EQ(first->execSpec.peakFlops, xeon6462c().peakFlops);
+    sim.run();
+}
+
+TEST_F(SllmFixture, HalfPartitionIsSlower)
+{
+    // The same request takes about twice as long to prefill on a half
+    // partition (the +s inefficiency for big prefills).
+    SllmOptions full_opts;
+    build(0, 1, {llama2_7b()}, full_opts, 1);
+    Request &r = submitAt(0, 0.0, 2048, 1);
+    sim.run();
+    Seconds full_ttft = r.firstTokenTime - r.arrival - r.grace;
+
+    SllmHarness half;
+    SllmOptions half_opts;
+    half_opts.staticShare = true;
+    half.build(0, 1, {llama2_7b()}, half_opts, 2);
+    Request &r2 = half.submitAt(0, 0.0, 2048, 1);
+    half.sim.run();
+    Seconds half_ttft = r2.firstTokenTime - r2.arrival - r2.grace;
+    EXPECT_GT(half_ttft, 1.6 * full_ttft);
+}
+
+TEST_F(SllmFixture, PdDisaggregationRuns)
+{
+    SllmOptions opts;
+    opts.useCpu = true;
+    opts.staticShare = true;
+    // PD flag arrives via the controller config in the harness; here we
+    // drive the flag directly.
+    cluster.cpuNodes = 1;
+    cluster.gpuNodes = 2;
+    nodes = buildCluster(cluster, 2);
+    models = {llama2_7b()};
+    std::vector<double> avg(1, 250.0);
+    ControllerConfig cfg;
+    cfg.pdDisaggregation = true;
+    ctl = std::make_unique<SllmController>(sim, nodes, models, avg, cfg,
+                                           recorder, nullptr, opts);
+    Request &r = submitAt(0, 0.0, 1024, 40);
+    sim.run();
+    EXPECT_EQ(r.state, RequestState::Completed);
+    EXPECT_GE(ctl->instancesCreated(), 2u);
+}
+
+TEST(NeoSpec, AssistanceScalesWithCores)
+{
+    HardwareSpec gpu = a100_80g();
+    HardwareSpec cpu = xeon6462c();
+    HardwareSpec n0 = neoGpuSpec(gpu, cpu, 0);
+    HardwareSpec n16 = neoGpuSpec(gpu, cpu, 16);
+    HardwareSpec n32 = neoGpuSpec(gpu, cpu, 32);
+    EXPECT_DOUBLE_EQ(n0.auxKvBandwidth, 0.0);
+    EXPECT_GT(n32.auxKvBandwidth, n16.auxKvBandwidth);
+    EXPECT_EQ(n32.auxKvCapacity, 2u * n16.auxKvCapacity);
+    // Half the cores give half the CPU's effective bandwidth.
+    EXPECT_NEAR(n16.auxKvBandwidth, cpu.effectiveBw() / 2, 1e6);
+}
+
+} // namespace
+} // namespace slinfer

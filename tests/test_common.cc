@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG, statistics, tables, units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+TEST(Units, GiBRoundTrip)
+{
+    EXPECT_EQ(fromGiB(1.0), kGiB);
+    EXPECT_DOUBLE_EQ(toGiB(2 * kGiB), 2.0);
+    EXPECT_DOUBLE_EQ(ms(250.0), 0.25);
+    EXPECT_DOUBLE_EQ(toMs(0.25), 250.0);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption)
+{
+    Rng a(7);
+    Rng child1 = a.fork(3);
+    a.uniform();
+    a.uniform();
+    Rng b(7);
+    Rng child2 = b.fork(3);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+}
+
+TEST(Rng, ForkTagsProduceDistinctStreams)
+{
+    Rng a(7);
+    Rng c1 = a.fork(1);
+    Rng c2 = a.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (c1.uniform() == c2.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform(3.0, 5.0);
+        EXPECT_GE(v, 3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng r(1);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(3);
+    Summary s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(r.exponential(2.0));
+    EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng r(4);
+    CdfBuilder c;
+    for (int i = 0; i < 20000; ++i)
+        c.add(r.logNormalMedian(100.0, 0.8));
+    EXPECT_NEAR(c.percentile(50.0), 100.0, 5.0);
+}
+
+TEST(Rng, GammaMean)
+{
+    Rng r(5);
+    Summary s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(r.gamma(0.5, 2.0));
+    EXPECT_NEAR(s.mean(), 1.0, 0.05);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds)
+{
+    Rng r(6);
+    for (int i = 0; i < 5000; ++i) {
+        double v = r.boundedPareto(1.0, 100.0, 1.1);
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 100.0);
+    }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed)
+{
+    Rng r(7);
+    CdfBuilder c;
+    for (int i = 0; i < 20000; ++i)
+        c.add(r.boundedPareto(1.0, 400.0, 1.0));
+    // Median far below mean for a heavy tail.
+    EXPECT_LT(c.percentile(50.0), c.mean());
+    EXPECT_LT(c.percentile(50.0), 3.0);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(8);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(CdfBuilder, Percentiles)
+{
+    CdfBuilder c;
+    for (int i = 1; i <= 100; ++i)
+        c.add(i);
+    EXPECT_DOUBLE_EQ(c.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.percentile(100.0), 100.0);
+    EXPECT_NEAR(c.percentile(50.0), 50.5, 0.01);
+    EXPECT_NEAR(c.percentile(95.0), 95.05, 0.01);
+}
+
+TEST(CdfBuilder, FractionBelow)
+{
+    CdfBuilder c;
+    for (int i = 1; i <= 10; ++i)
+        c.add(i);
+    EXPECT_DOUBLE_EQ(c.fractionBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(c.fractionBelow(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.fractionBelow(10.0), 1.0);
+}
+
+TEST(CdfBuilder, CdfAtPoints)
+{
+    CdfBuilder c;
+    c.add(1.0);
+    c.add(2.0);
+    auto pts = c.cdfAt({0.0, 1.5, 3.0});
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts[0].second, 0.0);
+    EXPECT_DOUBLE_EQ(pts[1].second, 0.5);
+    EXPECT_DOUBLE_EQ(pts[2].second, 1.0);
+}
+
+TEST(CdfBuilder, QueriesInterleaveWithAdds)
+{
+    CdfBuilder c;
+    c.add(5.0);
+    EXPECT_DOUBLE_EQ(c.percentile(50.0), 5.0);
+    c.add(1.0);
+    EXPECT_DOUBLE_EQ(c.percentile(0.0), 1.0);
+}
+
+TEST(TimeWeightedValue, PiecewiseAverage)
+{
+    TimeWeightedValue v;
+    v.set(0.0, 2.0);
+    v.set(10.0, 4.0); // 2.0 held for 10 s
+    EXPECT_DOUBLE_EQ(v.integral(10.0), 20.0);
+    EXPECT_DOUBLE_EQ(v.average(20.0), (20.0 + 40.0) / 20.0);
+}
+
+TEST(TimeWeightedValue, EmptyIsZero)
+{
+    TimeWeightedValue v;
+    EXPECT_DOUBLE_EQ(v.average(100.0), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-5.0); // clamps into bin 0
+    h.add(50.0); // clamps into bin 9
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[9], 2u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 2.0);
+}
+
+TEST(Table, FormatsAlignedRows)
+{
+    Table t({"a", "long-header"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("| 1"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(Table::pct(0.5), "50.0%");
+}
+
+} // namespace
+} // namespace slinfer

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Harness tests: cluster construction, the system factory, and
+ * runExperiment's report invariants on small workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+TEST(Systems, NamesAndPartitions)
+{
+    EXPECT_STREQ(systemName(SystemKind::Sllm), "sllm");
+    EXPECT_STREQ(systemName(SystemKind::SllmC), "sllm+c");
+    EXPECT_STREQ(systemName(SystemKind::SllmCS), "sllm+c+s");
+    EXPECT_STREQ(systemName(SystemKind::Slinfer), "SLINFER");
+    EXPECT_EQ(systemPartitions(SystemKind::SllmCS), 2);
+    EXPECT_EQ(systemPartitions(SystemKind::SllmCsPD), 2);
+    EXPECT_EQ(systemPartitions(SystemKind::Slinfer), 1);
+    EXPECT_EQ(systemPartitions(SystemKind::Sllm), 1);
+}
+
+TEST(Harness, BuildClusterLayout)
+{
+    ClusterSpec spec;
+    spec.cpuNodes = 2;
+    spec.gpuNodes = 3;
+    auto nodes = buildCluster(spec, 1);
+    ASSERT_EQ(nodes.size(), 5u);
+    EXPECT_TRUE(nodes[0]->isCpu());
+    EXPECT_TRUE(nodes[1]->isCpu());
+    EXPECT_FALSE(nodes[2]->isCpu());
+    EXPECT_EQ(nodes[4]->id(), 4u);
+}
+
+TEST(Harness, ReplicateModelSharesProfileKey)
+{
+    auto models = replicateModel(llama2_7b(), 4);
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_EQ(models[0].name, models[3].name);
+}
+
+class SmallExperiment : public ::testing::TestWithParam<SystemKind>
+{
+};
+
+TEST_P(SmallExperiment, ReportInvariants)
+{
+    ExperimentConfig cfg;
+    cfg.system = GetParam();
+    cfg.cluster.cpuNodes = 2;
+    cfg.cluster.gpuNodes = 2;
+    cfg.models = replicateModel(llama2_7b(), 8);
+    AzureTraceConfig tc;
+    tc.numModels = 8;
+    tc.duration = 120.0;
+    tc.seed = 3;
+    cfg.trace = generateAzureTrace(tc);
+    cfg.duration = 120.0;
+    Report r = runExperiment(cfg);
+
+    EXPECT_EQ(r.totalRequests, cfg.trace.totalRequests());
+    EXPECT_EQ(r.completed + r.dropped, r.totalRequests);
+    EXPECT_LE(r.sloMet, r.completed);
+    EXPECT_GE(r.sloRate, 0.0);
+    EXPECT_LE(r.sloRate, 1.0);
+    EXPECT_GE(r.avgCpuNodesUsed, 0.0);
+    EXPECT_LE(r.avgCpuNodesUsed, 2.0);
+    EXPECT_LE(r.avgGpuNodesUsed, 2.0);
+    // The TTFT CDF is monotone and never exceeds completed/total.
+    double prev = 0.0;
+    for (auto &[x, f] : r.ttftCdf) {
+        EXPECT_GE(f, prev);
+        EXPECT_LE(f, 1.0);
+        prev = f;
+    }
+    EXPECT_EQ(r.system, systemName(cfg.system));
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SmallExperiment,
+                         ::testing::Values(SystemKind::Sllm,
+                                           SystemKind::SllmC,
+                                           SystemKind::SllmCS,
+                                           SystemKind::Slinfer,
+                                           SystemKind::SlinferNoCpu,
+                                           SystemKind::SlinferNoSharing,
+                                           SystemKind::SlinferPD,
+                                           SystemKind::SllmCsPD));
+
+TEST(Harness, DeterministicAcrossRuns)
+{
+    ExperimentConfig cfg;
+    cfg.system = SystemKind::Slinfer;
+    cfg.cluster.cpuNodes = 1;
+    cfg.cluster.gpuNodes = 1;
+    cfg.models = replicateModel(llama2_7b(), 4);
+    AzureTraceConfig tc;
+    tc.numModels = 4;
+    tc.duration = 60.0;
+    cfg.trace = generateAzureTrace(tc);
+    cfg.duration = 60.0;
+    Report a = runExperiment(cfg);
+    Report b = runExperiment(cfg);
+    EXPECT_EQ(a.sloMet, b.sloMet);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.p95Ttft, b.p95Ttft);
+    EXPECT_DOUBLE_EQ(a.avgGpuNodesUsed, b.avgGpuNodesUsed);
+}
+
+TEST(Harness, DatasetSelectionChangesLengths)
+{
+    ExperimentConfig cfg;
+    cfg.system = SystemKind::Slinfer;
+    cfg.cluster.cpuNodes = 1;
+    cfg.cluster.gpuNodes = 1;
+    cfg.models = replicateModel(llama31_8b(), 4);
+    AzureTraceConfig tc;
+    tc.numModels = 4;
+    tc.duration = 60.0;
+    cfg.trace = generateAzureTrace(tc);
+    cfg.duration = 60.0;
+    cfg.dataset = DatasetKind::HumanEval;
+    Report heval = runExperiment(cfg);
+    cfg.dataset = DatasetKind::LongBench;
+    Report lbench = runExperiment(cfg);
+    // LongBench's huge prefills stress the cluster far more.
+    EXPECT_GE(heval.sloRate, lbench.sloRate);
+}
+
+} // namespace
+} // namespace slinfer

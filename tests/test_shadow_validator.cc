@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Shadow-validation tests (§VI-C): the three rejection cases, the
+ * doomed-request exemption, loading-instance availability, and the
+ * aggregate (case 3) decode check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/shadow_validator.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+struct ShadowFixture : public ::testing::Test
+{
+    ShadowFixture() : node(0, xeon6462c(), 1)
+    {
+        part = node.partitions()[0].get();
+        quant.profile(xeon6462c(), llama2_7b());
+        quant.profile(a100_80g(), llama2_7b());
+        validator = std::make_unique<ShadowValidator>(
+            quant, ShadowConfig{1.10, 0.25, 500});
+    }
+
+    Instance &
+    addInstance(const HardwareSpec &hw)
+    {
+        auto inst = std::make_unique<Instance>(nextId++, 0, llama2_7b(),
+                                               part, hw, 32ULL << 30);
+        inst->state = InstanceState::Active;
+        part->instances.push_back(inst.get());
+        pool.push_back(std::move(inst));
+        return *pool.back();
+    }
+
+    Request &
+    makeRequest(Seconds arrival, Tokens in, Tokens out,
+                Tokens generated = 0)
+    {
+        auto r = std::make_unique<Request>();
+        r->id = nextReq++;
+        r->arrival = arrival;
+        r->inputLen = in;
+        r->targetOutput = out;
+        r->generated = generated;
+        r->ttftSlo = std::min(std::max(0.5, in / 512.0), 8.0);
+        r->tpotSlo = 0.25;
+        reqs.push_back(std::move(r));
+        return *reqs.back();
+    }
+
+    Node node;
+    Partition *part;
+    Quantifier quant;
+    std::unique_ptr<ShadowValidator> validator;
+    std::vector<std::unique_ptr<Instance>> pool;
+    std::vector<std::unique_ptr<Request>> reqs;
+    InstanceId nextId = 1;
+    RequestId nextReq = 1;
+};
+
+TEST_F(ShadowFixture, AdmitsToIdleInstance)
+{
+    Instance &inst = addInstance(xeon6462c());
+    Request &r = makeRequest(0.0, 1024, 100);
+    EXPECT_TRUE(validator->canAdmit(*part, &inst, r, 0.0, 0.0));
+}
+
+TEST_F(ShadowFixture, RejectsCase1PrefillTooLong)
+{
+    // A 34B model on the CPU: the prefill alone blows the TTFT SLO.
+    quant.profile(xeon6462c(), codellama_34b());
+    auto inst = std::make_unique<Instance>(nextId++, 0, codellama_34b(),
+                                           part, xeon6462c(), 32ULL << 30);
+    inst->state = InstanceState::Active;
+    part->instances.push_back(inst.get());
+    Request &r = makeRequest(0.0, 2048, 100);
+    EXPECT_FALSE(validator->canAdmit(*part, inst.get(), r, 0.0, 0.0));
+}
+
+TEST_F(ShadowFixture, RejectsCase2ExistingRequestDelayed)
+{
+    // A large CPU decode batch running near its deadline budget: a
+    // short-TTFT newcomer cannot squeeze its prefill in without either
+    // being late itself or delaying the batch past its cumulative
+    // deadlines.
+    Instance &inst = addInstance(xeon6462c());
+    std::vector<Request *> batch;
+    for (int i = 0; i < 22; ++i) {
+        Request &r = makeRequest(0.0, 2000, 400, /*generated=*/8);
+        r.state = RequestState::Decode;
+        inst.decodeBatch.push_back(&r);
+        batch.push_back(&r);
+    }
+    Seconds now = batch[0]->deadlineForNextToken() - 0.05;
+    Request &incoming = makeRequest(now, 256, 100); // TTFT SLO 0.5 s
+    EXPECT_FALSE(validator->canAdmit(*part, &inst, incoming, now, now));
+}
+
+TEST_F(ShadowFixture, RejectsCase3AggregateDecode)
+{
+    // Four CPU instances each with sizeable batches: the sum of one
+    // decode iteration across instances exceeds the 0.25 s TPOT.
+    for (int i = 0; i < 4; ++i) {
+        Instance &inst = addInstance(xeon6462c());
+        for (int j = 0; j < 12; ++j) {
+            Request &r = makeRequest(0.0, 1024, 200, 5);
+            r.state = RequestState::Decode;
+            inst.decodeBatch.push_back(&r);
+        }
+    }
+    Request &incoming = makeRequest(10.0, 512, 50);
+    EXPECT_FALSE(validator->aggregateDecodeFits(
+        *part, part->instances[0], 1, incoming.contextLen()));
+    EXPECT_FALSE(validator->canAdmit(*part, part->instances[0], incoming,
+                                     10.0, 10.0));
+}
+
+TEST_F(ShadowFixture, AggregateFitsWithFewInstances)
+{
+    Instance &a = addInstance(xeon6462c());
+    Request &r = makeRequest(0.0, 1024, 100, 3);
+    r.state = RequestState::Decode;
+    a.decodeBatch.push_back(&r);
+    EXPECT_TRUE(validator->aggregateDecodeFits(*part, &a, 1, 1024));
+}
+
+TEST_F(ShadowFixture, ExcludedInstancesAreIgnored)
+{
+    // Same overload as the case-3 test, but excluding three of the
+    // four instances clears the admission.
+    std::vector<Instance *> insts;
+    for (int i = 0; i < 4; ++i) {
+        Instance &inst = addInstance(xeon6462c());
+        insts.push_back(&inst);
+        for (int j = 0; j < 12; ++j) {
+            Request &r = makeRequest(0.0, 1024, 200, 5);
+            r.state = RequestState::Decode;
+            inst.decodeBatch.push_back(&r);
+        }
+    }
+    // Excluding three of the four instances clears the aggregate
+    // (case 3) check that rejected the crowded partition.
+    Request &incoming = makeRequest(10.0, 512, 50);
+    std::set<const Instance *> excl = {insts[1], insts[2], insts[3]};
+    EXPECT_FALSE(validator->aggregateDecodeFits(
+        *part, insts[0], 1, incoming.contextLen()));
+    EXPECT_TRUE(validator->aggregateDecodeFits(
+        *part, insts[0], 1, incoming.contextLen(), excl));
+}
+
+TEST_F(ShadowFixture, DoomedRequestDoesNotVetoAdmission)
+{
+    // A request slightly past its deadline is doomed regardless of the
+    // newcomer; it may not veto the admission (only consume compute).
+    Instance &inst = addInstance(xeon6462c());
+    Request &doomed = makeRequest(0.0, 1024, 100, 2);
+    doomed.state = RequestState::Decode;
+    inst.decodeBatch.push_back(&doomed);
+    Seconds now = doomed.deadlineForNextToken() + 0.3;
+    Request &incoming = makeRequest(now, 1024, 50); // TTFT SLO 2 s
+    EXPECT_TRUE(validator->canAdmit(*part, &inst, incoming, now, now));
+}
+
+TEST_F(ShadowFixture, DoomedCandidateCanStillBeReplaced)
+{
+    // An evicted request being re-placed has already lost its SLO; its
+    // own lateness must not block finding a new home.
+    Instance &inst = addInstance(xeon6462c());
+    Request &evicted = makeRequest(0.0, 1024, 400, /*generated=*/50);
+    Seconds now = evicted.deadlineForNextToken() + 10.0;
+    EXPECT_TRUE(validator->canAdmit(*part, &inst, evicted, now, now));
+}
+
+TEST_F(ShadowFixture, CanAdmitNewOnEmptyPartition)
+{
+    Request &r = makeRequest(0.0, 1024, 100);
+    // Cold start ready ~1 s later; grace covers it.
+    EXPECT_TRUE(validator->canAdmitNew(*part, llama2_7b(), xeon6462c(), r,
+                                       0.0, 0.0, 1.0));
+}
+
+TEST_F(ShadowFixture, CanAdmitNewRespectsBusyNeighbors)
+{
+    for (int i = 0; i < 3; ++i) {
+        Instance &inst = addInstance(xeon6462c());
+        for (int j = 0; j < 12; ++j) {
+            Request &r = makeRequest(0.0, 1024, 200, 5);
+            r.state = RequestState::Decode;
+            inst.decodeBatch.push_back(&r);
+        }
+    }
+    Request &r = makeRequest(10.0, 1024, 100);
+    EXPECT_FALSE(validator->canAdmitNew(*part, llama2_7b(), xeon6462c(),
+                                        r, 10.0, 10.0, 11.0));
+}
+
+TEST_F(ShadowFixture, LoadingInstanceDelaysItsPrefills)
+{
+    Instance &inst = addInstance(xeon6462c());
+    inst.state = InstanceState::Loading;
+    inst.createdAt = 0.0;
+    inst.loadDuration = 1.0;
+    // A queued request whose TTFT cannot survive waiting for the load
+    // plus a long prefill.
+    Request &queued = makeRequest(0.0, 256, 50); // TTFT SLO = 0.5 s
+    queued.state = RequestState::Prefill;
+    inst.prefillQueue.push_back(&queued);
+    Request &incoming = makeRequest(0.0, 256, 50);
+    // The queued request is doomed by the load alone (no grace in this
+    // synthetic setup), so it must not veto the incoming one... but the
+    // incoming rides the same loading instance, so it is late too.
+    EXPECT_FALSE(validator->canAdmit(*part, &inst, incoming, 0.0, 0.0));
+}
+
+TEST_F(ShadowFixture, GpuAbsorbsWhatCpuCannot)
+{
+    // The identical load that fails on the CPU passes on an A100.
+    Node gpu_node(1, a100_80g(), 1);
+    Partition *gpu_part = gpu_node.partitions()[0].get();
+    auto gi = std::make_unique<Instance>(nextId++, 0, llama2_7b(),
+                                         gpu_part, a100_80g(),
+                                         32ULL << 30);
+    gi->state = InstanceState::Active;
+    gpu_part->instances.push_back(gi.get());
+    for (int j = 0; j < 12; ++j) {
+        Request &r = makeRequest(0.0, 1024, 200, 5);
+        r.state = RequestState::Decode;
+        gi->decodeBatch.push_back(&r);
+    }
+    Request &incoming = makeRequest(10.0, 2048, 100);
+    EXPECT_TRUE(validator->canAdmit(*gpu_part, gi.get(), incoming, 10.0,
+                                    10.0));
+}
+
+TEST_F(ShadowFixture, PartitionBusyUntilDelaysEverything)
+{
+    Instance &inst = addInstance(xeon6462c());
+    Request &r = makeRequest(0.0, 256, 50); // TTFT 0.5 s
+    // The partition is busy with someone else's long iteration until
+    // after the candidate's deadline.
+    EXPECT_FALSE(validator->canAdmit(*part, &inst, r, 0.0, /*busy=*/3.0));
+    EXPECT_TRUE(validator->canAdmit(*part, &inst, r, 0.0, 0.0));
+}
+
+} // namespace
+} // namespace slinfer

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(3.0, [&] { order.push_back(3); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesAreFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle h = q.schedule(1.0, [&] { ++fired; });
+    q.schedule(2.0, [&] { ++fired; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsSafe)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(1.0, [] {});
+    h.cancel();
+    h.cancel();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DefaultHandleNotPending)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // no-op
+}
+
+TEST(EventQueue, HandleNotPendingAfterRun)
+{
+    EventQueue q;
+    EventHandle h = q.schedule(1.0, [] {});
+    q.popAndRun();
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, ClockVisibleInsideCallback)
+{
+    Simulator sim;
+    Seconds seen = -1.0;
+    sim.schedule(5.0, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 5.0);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator sim;
+    std::vector<Seconds> times;
+    sim.schedule(1.0, [&] {
+        times.push_back(sim.now());
+        sim.schedule(1.5, [&] { times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 2.5);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(10.0, [&] { ++fired; });
+    sim.runUntil(5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime)
+{
+    Simulator sim;
+    Seconds seen = -1.0;
+    sim.scheduleAt(3.0, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 3.0);
+}
+
+TEST(Simulator, EventsRunCounter)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.schedule(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsRun(), 7u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(1.0, [&] {
+        order.push_back(1);
+        sim.schedule(0.0, [&] { order.push_back(2); });
+    });
+    sim.schedule(1.0, [&] { order.push_back(3); });
+    sim.run();
+    // The zero-delay event lands at t=1 but after the already-queued
+    // same-time event (FIFO by insertion).
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, ManyEventsStressOrdering)
+{
+    Simulator sim;
+    Seconds last = -1.0;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        Seconds t = (i * 7919) % 1000;
+        sim.scheduleAt(t, [&, t] {
+            if (t < last)
+                monotone = false;
+            last = t;
+        });
+    }
+    sim.run();
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace slinfer

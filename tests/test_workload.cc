@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Workload-layer tests: SLO functions, dataset length samplers, and the
+ * Azure-style / BurstGPT trace generators (calibration per Figs. 12,
+ * 21, 34 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.hh"
+#include "workload/azure_trace.hh"
+#include "workload/burstgpt.hh"
+#include "workload/dataset.hh"
+#include "workload/slo.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+// ------------------------------------------------------------------
+// SLO: TTFT = min(max(0.5, L/512), 8), TPOT = 0.25.
+// ------------------------------------------------------------------
+
+TEST(Slo, TtftPiecewise)
+{
+    SloSpec slo = defaultSlo();
+    EXPECT_DOUBLE_EQ(slo.ttft(64), 0.5);    // floor
+    EXPECT_DOUBLE_EQ(slo.ttft(256), 0.5);   // 0.5 exactly at the knee
+    EXPECT_DOUBLE_EQ(slo.ttft(1024), 2.0);  // linear region
+    EXPECT_DOUBLE_EQ(slo.ttft(4096), 8.0);  // ceiling
+    EXPECT_DOUBLE_EQ(slo.ttft(32768), 8.0); // stays capped
+    EXPECT_DOUBLE_EQ(slo.tpot, 0.25);
+}
+
+TEST(Slo, TightVariant)
+{
+    SloSpec tight = tightSlo(0.1);
+    EXPECT_DOUBLE_EQ(tight.tpot, 0.1);
+    EXPECT_DOUBLE_EQ(tight.ttft(1024), 2.0); // TTFT unchanged
+}
+
+// ------------------------------------------------------------------
+// Datasets (Fig. 34 shapes).
+// ------------------------------------------------------------------
+
+class DatasetShape : public ::testing::TestWithParam<DatasetKind>
+{
+};
+
+TEST_P(DatasetShape, SamplesWithinClampsAndDeterministic)
+{
+    Dataset ds(GetParam());
+    Rng r1(11), r2(11);
+    for (int i = 0; i < 2000; ++i) {
+        LengthSample a = ds.sample(r1);
+        LengthSample b = ds.sample(r2);
+        EXPECT_EQ(a.input, b.input);
+        EXPECT_EQ(a.output, b.output);
+        EXPECT_GE(a.input, 1);
+        EXPECT_LE(a.input, ds.maxInput());
+        EXPECT_GE(a.output, 1);
+    }
+}
+
+TEST_P(DatasetShape, EmpiricalMeansMatchAnalytic)
+{
+    Dataset ds(GetParam());
+    Rng rng(5);
+    Summary in, out;
+    for (int i = 0; i < 50000; ++i) {
+        LengthSample s = ds.sample(rng);
+        in.add(static_cast<double>(s.input));
+        out.add(static_cast<double>(s.output));
+    }
+    EXPECT_NEAR(in.mean(), ds.meanInput(), ds.meanInput() * 0.15);
+    EXPECT_NEAR(out.mean(), ds.meanOutput(), ds.meanOutput() * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetShape,
+                         ::testing::Values(DatasetKind::AzureConv,
+                                           DatasetKind::AzureCode,
+                                           DatasetKind::HumanEval,
+                                           DatasetKind::ShareGPT,
+                                           DatasetKind::LongBench));
+
+TEST(Dataset, RelativeShapesMatchFig34)
+{
+    Dataset conv(DatasetKind::AzureConv);
+    Dataset code(DatasetKind::AzureCode);
+    Dataset heval(DatasetKind::HumanEval);
+    Dataset sgpt(DatasetKind::ShareGPT);
+    Dataset lbench(DatasetKind::LongBench);
+
+    // Coding inputs are longer than conversation; LongBench dominates.
+    EXPECT_GT(code.meanInput(), conv.meanInput());
+    EXPECT_GT(lbench.meanInput(), 4.0 * conv.meanInput());
+    EXPECT_LT(heval.meanInput(), conv.meanInput());
+    // ShareGPT has the longest outputs; AzureCode the shortest.
+    EXPECT_GT(sgpt.meanOutput(), conv.meanOutput() * 0.9);
+    EXPECT_LT(code.meanOutput(), 0.5 * conv.meanOutput());
+    // LongBench can emit 32K-token inputs.
+    EXPECT_EQ(lbench.maxInput(), 32000);
+}
+
+TEST(Dataset, AzureConvMostInputsUnder4K)
+{
+    // §IV-A2: 97.9% of conversation inputs are under 4K tokens.
+    Dataset ds(DatasetKind::AzureConv);
+    Rng rng(9);
+    int under = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        under += ds.sample(rng).input < 4096;
+    EXPECT_GT(static_cast<double>(under) / n, 0.90);
+}
+
+TEST(Dataset, Names)
+{
+    EXPECT_STREQ(Dataset(DatasetKind::ShareGPT).name(), "ShareGPT");
+    EXPECT_STREQ(Dataset(DatasetKind::LongBench).name(), "LongBench");
+}
+
+// ------------------------------------------------------------------
+// Azure serverless trace generator (Figs. 12, 21).
+// ------------------------------------------------------------------
+
+class AzureTraceScale : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AzureTraceScale, TotalsTrackFig21)
+{
+    // Fig. 21: 32/64/128 models -> 2366/4684/9266 requests in 30 min
+    // (aggregate ~2.4 RPM per model). Assert within 25%.
+    int n = GetParam();
+    AzureTraceConfig cfg;
+    cfg.numModels = n;
+    cfg.seed = 5;
+    AzureTrace t = generateAzureTrace(cfg);
+    double expect = 2.44 * n * 30.0;
+    EXPECT_NEAR(static_cast<double>(t.totalRequests()), expect,
+                expect * 0.25);
+}
+
+TEST_P(AzureTraceScale, SortedAndWithinDuration)
+{
+    AzureTraceConfig cfg;
+    cfg.numModels = GetParam();
+    cfg.seed = 7;
+    AzureTrace t = generateAzureTrace(cfg);
+    Seconds prev = 0.0;
+    for (const Arrival &a : t.arrivals) {
+        EXPECT_GE(a.time, prev);
+        EXPECT_LT(a.time, cfg.duration);
+        EXPECT_LT(a.model, static_cast<ModelId>(cfg.numModels));
+        prev = a.time;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, AzureTraceScale,
+                         ::testing::Values(32, 64, 128));
+
+TEST(AzureTrace, HotColdSkew)
+{
+    // §III-C: the top 1% of functions contribute ~26% of requests and
+    // most models receive only a handful of requests.
+    AzureTraceConfig cfg;
+    cfg.numModels = 128;
+    cfg.seed = 5;
+    AzureTrace t = generateAzureTrace(cfg);
+    EXPECT_GT(t.topShare(0.01), 0.15);
+    EXPECT_GT(t.topShare(0.05), 0.40);
+
+    std::vector<double> rates = t.perModelRpm;
+    std::sort(rates.begin(), rates.end());
+    // Median model sees under 1 request/minute.
+    EXPECT_LT(rates[rates.size() / 2], 1.0);
+}
+
+TEST(AzureTrace, Deterministic)
+{
+    AzureTraceConfig cfg;
+    cfg.numModels = 32;
+    cfg.seed = 99;
+    AzureTrace a = generateAzureTrace(cfg);
+    AzureTrace b = generateAzureTrace(cfg);
+    ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+    for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.arrivals[i].time, b.arrivals[i].time);
+        EXPECT_EQ(a.arrivals[i].model, b.arrivals[i].model);
+    }
+}
+
+TEST(AzureTrace, SeedChangesTrace)
+{
+    AzureTraceConfig cfg;
+    cfg.numModels = 32;
+    cfg.seed = 1;
+    AzureTrace a = generateAzureTrace(cfg);
+    cfg.seed = 2;
+    AzureTrace b = generateAzureTrace(cfg);
+    EXPECT_NE(a.arrivals.size(), b.arrivals.size());
+}
+
+TEST(AzureTrace, BurstsCreateConcurrency)
+{
+    // Fig. 12: hot models see bursts well above one in-flight request.
+    // Count the largest number of arrivals of one model within any 5 s
+    // window as a concurrency proxy.
+    AzureTraceConfig cfg;
+    cfg.numModels = 128;
+    cfg.seed = 5;
+    AzureTrace t = generateAzureTrace(cfg);
+    std::map<ModelId, std::vector<Seconds>> by_model;
+    for (const Arrival &a : t.arrivals)
+        by_model[a.model].push_back(a.time);
+    std::size_t max_burst = 0;
+    for (auto &[m, times] : by_model) {
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            std::size_t j = i;
+            while (j < times.size() && times[j] - times[i] < 5.0)
+                ++j;
+            max_burst = std::max(max_burst, j - i);
+        }
+    }
+    EXPECT_GE(max_burst, 16u);
+}
+
+TEST(AzureTrace, AggregateRpmHelper)
+{
+    AzureTraceConfig cfg;
+    cfg.numModels = 64;
+    cfg.seed = 5;
+    AzureTrace t = generateAzureTrace(cfg);
+    EXPECT_NEAR(t.aggregateRpm(cfg.duration),
+                static_cast<double>(t.totalRequests()) / 30.0, 1e-9);
+}
+
+// ------------------------------------------------------------------
+// BurstGPT generator (Fig. 27).
+// ------------------------------------------------------------------
+
+TEST(BurstGpt, MatchesAggregateRps)
+{
+    for (double rps : {0.5, 1.0, 2.0, 4.0}) {
+        BurstGptConfig cfg;
+        cfg.aggregateRps = rps;
+        cfg.seed = 11;
+        AzureTrace t = generateBurstGpt(cfg);
+        double got = static_cast<double>(t.totalRequests()) / cfg.duration;
+        EXPECT_NEAR(got, rps, rps * 0.15) << "rps=" << rps;
+    }
+}
+
+TEST(BurstGpt, InterArrivalsAreBursty)
+{
+    // Gamma shape < 1 means the coefficient of variation exceeds 1.
+    BurstGptConfig cfg;
+    cfg.aggregateRps = 2.0;
+    cfg.seed = 3;
+    AzureTrace t = generateBurstGpt(cfg);
+    Summary gaps;
+    for (std::size_t i = 1; i < t.arrivals.size(); ++i)
+        gaps.add(t.arrivals[i].time - t.arrivals[i - 1].time);
+    double cv = gaps.stddev() / gaps.mean();
+    EXPECT_GT(cv, 1.1);
+}
+
+TEST(BurstGpt, ParetoSplitAcrossModels)
+{
+    BurstGptConfig cfg;
+    cfg.aggregateRps = 2.0;
+    cfg.seed = 3;
+    AzureTrace t = generateBurstGpt(cfg);
+    EXPECT_GT(t.topShare(0.05), 0.30);
+    int touched = 0;
+    for (double rpm : t.perModelRpm)
+        touched += rpm > 0;
+    EXPECT_GT(touched, cfg.numModels / 2);
+}
+
+TEST(BurstGpt, Deterministic)
+{
+    BurstGptConfig cfg;
+    cfg.seed = 21;
+    AzureTrace a = generateBurstGpt(cfg);
+    AzureTrace b = generateBurstGpt(cfg);
+    EXPECT_EQ(a.arrivals.size(), b.arrivals.size());
+}
+
+} // namespace
+} // namespace slinfer
