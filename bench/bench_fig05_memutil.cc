@@ -31,7 +31,7 @@ main()
     auto nodes = buildCluster(cfg.cluster, 1);
     Recorder recorder;
     ClusterStats stats(sim, nodes);
-    stats.start(cfg.duration);
+    stats.start(cfg.trace.duration);
     Dataset dataset(cfg.dataset);
     Rng len_rng = Rng(cfg.seed).fork(0x1E46);
     std::deque<Request> requests;

@@ -38,7 +38,7 @@ runWithStats(SystemKind sys)
     auto nodes = buildCluster(cfg.cluster, systemPartitions(sys));
     Recorder recorder;
     ClusterStats stats(sim, nodes);
-    stats.start(cfg.duration);
+    stats.start(cfg.trace.duration);
     Dataset dataset(cfg.dataset);
     Rng len_rng = Rng(cfg.seed).fork(0x1E46);
     std::deque<Request> requests;

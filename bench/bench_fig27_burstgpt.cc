@@ -23,9 +23,7 @@ main()
             cfg.models = replicateModel(llama2_7b(), 64);
             BurstGptConfig bc;
             bc.aggregateRps = rps;
-            bc.seed = bench::kSeed;
-            cfg.trace = generateBurstGpt(bc);
-            cfg.duration = bc.duration;
+            cfg.arrivals = scenario::makeBurstGpt(bc);
             cfg.seed = bench::kSeed;
             Report r = runExperiment(cfg);
             t.addRow({Table::num(rps, 1), r.system,

@@ -25,7 +25,10 @@ namespace bench
 /** Default trace seed used across benches (deterministic output). */
 inline constexpr std::uint64_t kSeed = 5;
 
-/** Run one system on an Azure-style trace of `numModels` replicas. */
+/** Run one system on an Azure-style trace of `numModels` replicas.
+ *  Arrivals flow through the scenario ArrivalProcess interface; the
+ *  generated trace is bit-identical to calling generateAzureTrace
+ *  directly with the same seed. */
 inline Report
 runAzure(SystemKind system, const ModelSpec &model, int numModels,
          Seconds duration = 1800.0,
@@ -41,9 +44,7 @@ runAzure(SystemKind system, const ModelSpec &model, int numModels,
     AzureTraceConfig tc;
     tc.numModels = numModels;
     tc.duration = duration;
-    tc.seed = seed;
-    cfg.trace = generateAzureTrace(tc);
-    cfg.duration = duration;
+    cfg.arrivals = scenario::makeAzure(tc);
     cfg.controller = ctl;
     cfg.dataset = dataset;
     cfg.seed = seed;
@@ -65,9 +66,7 @@ runMixed(SystemKind system, std::vector<ModelSpec> models,
     AzureTraceConfig tc;
     tc.numModels = static_cast<int>(cfg.models.size());
     tc.duration = duration;
-    tc.seed = seed;
-    cfg.trace = generateAzureTrace(tc);
-    cfg.duration = duration;
+    cfg.arrivals = scenario::makeAzure(tc);
     cfg.controller = ctl;
     cfg.dataset = dataset;
     cfg.seed = seed;

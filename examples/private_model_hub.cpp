@@ -5,12 +5,15 @@
  * Compares exclusive allocation (ServerlessLLM-style) against SLINFER
  * under the same bursty multi-tenant trace, the decision a platform
  * operator actually faces.
+ *
+ * Composes a custom scenario::Scenario (rather than a catalog entry)
+ * to show how operators describe their own fleets declaratively.
  */
 
 #include <cstdio>
 
 #include "common/table.hh"
-#include "harness/experiment.hh"
+#include "scenario/scenario.hh"
 
 using namespace slinfer;
 
@@ -29,22 +32,22 @@ main()
             fleet.push_back(llama2_13b());
     }
 
+    scenario::Scenario hub;
+    hub.name = "private-model-hub";
+    hub.summary = "64 mixed customer models on 4 CPU + 4 GPU nodes";
     AzureTraceConfig trace;
     trace.numModels = 64;
     trace.duration = 1800.0;
-    trace.seed = 7;
+    hub.arrivals = scenario::makeAzure(trace);
+    hub.models = fleet;
+    hub.seed = 7;
 
     printBanner("Private model hub: 64 mixed models, 4 CPU + 4 GPU");
     Table t({"system", "SLO-met", "dropped", "CPU used", "GPU used",
              "p95 TTFT"});
     for (SystemKind sys : {SystemKind::Sllm, SystemKind::SllmC,
                            SystemKind::Slinfer}) {
-        ExperimentConfig cfg;
-        cfg.system = sys;
-        cfg.models = fleet;
-        cfg.trace = generateAzureTrace(trace);
-        cfg.duration = trace.duration;
-        Report r = runExperiment(cfg);
+        Report r = scenario::runScenario(hub, sys);
         t.addRow({r.system,
                   Table::num(static_cast<long long>(r.sloMet)) + "/" +
                       Table::num(static_cast<long long>(

@@ -1,8 +1,11 @@
 /**
  * @file
- * Quickstart: deploy a handful of private LLMs on a small
- * heterogeneous cluster (1 AMX CPU node + 1 A100), drive them with a
- * serverless-style trace, and print the serving report.
+ * Quickstart: run the "quickstart" catalog scenario — a handful of
+ * private LLMs on a small heterogeneous cluster (1 AMX CPU node +
+ * 1 A100) driven by a serverless-style trace — and print the report.
+ *
+ * The same experiment is available from the command line:
+ *   ./build/slinfer_run --scenario=quickstart
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -11,35 +14,23 @@
 
 #include <cstdio>
 
-#include "harness/experiment.hh"
+#include "scenario/scenario.hh"
 
 using namespace slinfer;
 
 int
 main()
 {
-    // 1. Describe the cluster.
-    ExperimentConfig cfg;
-    cfg.cluster.cpuNodes = 1;  // Xeon-6462C (AMX) by default
-    cfg.cluster.gpuNodes = 1;  // A100-80GB by default
+    // Pick a declarative scenario from the catalog and a system.
+    const scenario::Scenario *sc = scenario::byName("quickstart");
+    if (!sc) {
+        std::fprintf(stderr, "catalog is missing 'quickstart'\n");
+        return 1;
+    }
+    Report report = scenario::runScenario(*sc, SystemKind::Slinfer);
 
-    // 2. Deploy four private 7B models behind one endpoint each.
-    cfg.models = replicateModel(llama2_7b(), 4);
-
-    // 3. Generate a 5-minute serverless invocation trace and pick the
-    //    request-length dataset.
-    AzureTraceConfig trace;
-    trace.numModels = 4;
-    trace.duration = 300.0;
-    trace.seed = 42;
-    cfg.trace = generateAzureTrace(trace);
-    cfg.duration = trace.duration;
-    cfg.dataset = DatasetKind::AzureConv;
-
-    // 4. Pick the serving system and run.
-    cfg.system = SystemKind::Slinfer;
-    Report report = runExperiment(cfg);
-
+    std::printf("scenario:      %s (%s)\n", sc->name.c_str(),
+                sc->summary.c_str());
     std::printf("system:        %s\n", report.system.c_str());
     std::printf("requests:      %zu (completed %zu, dropped %zu)\n",
                 report.totalRequests, report.completed, report.dropped);

@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "common/log.hh"
@@ -39,29 +40,75 @@ replicateModel(const ModelSpec &spec, int count)
     return models;
 }
 
+/**
+ * Resolve the arrival source and the metrics window: the duration
+ * stamped by the generator (or arrival process) is authoritative, and
+ * an explicitly configured cfg.duration must agree with it.
+ */
+static AzureTrace
+resolveTrace(const ExperimentConfig &cfg, Seconds &duration)
+{
+    if (cfg.arrivals && !cfg.trace.arrivals.empty())
+        fatal("runExperiment: both `arrivals` and `trace` are set");
+
+    AzureTrace trace =
+        cfg.arrivals ? cfg.arrivals->generate(cfg.seed) : cfg.trace;
+
+    duration = trace.duration;
+    if (cfg.duration > 0) {
+        if (duration > 0 && std::abs(cfg.duration - duration) > 1e-9)
+            fatal("runExperiment: cfg.duration disagrees with the trace "
+                  "duration; the trace/scenario is the source of truth");
+        duration = cfg.duration;
+    }
+    if (duration <= 0)
+        fatal("runExperiment: no duration configured");
+    return trace;
+}
+
+/** Per-model length samplers (cfg.datasetPerModel overrides). */
+static std::vector<Dataset>
+resolveDatasets(const ExperimentConfig &cfg)
+{
+    std::vector<Dataset> datasets;
+    if (cfg.datasetPerModel.empty()) {
+        datasets.assign(cfg.models.size(), Dataset(cfg.dataset));
+    } else {
+        if (cfg.datasetPerModel.size() != cfg.models.size())
+            fatal("runExperiment: datasetPerModel must have one entry "
+                  "per model");
+        for (DatasetKind kind : cfg.datasetPerModel)
+            datasets.emplace_back(kind);
+    }
+    return datasets;
+}
+
 Report
 runExperiment(const ExperimentConfig &cfg)
 {
     if (cfg.models.empty())
         fatal("runExperiment: no models configured");
 
+    Seconds duration = 0.0;
+    AzureTrace trace = resolveTrace(cfg, duration);
+
     Simulator sim;
     auto nodes = buildCluster(cfg.cluster, systemPartitions(cfg.system));
     Recorder recorder;
     ClusterStats stats(sim, nodes);
-    stats.start(cfg.duration);
+    stats.start(duration);
 
-    Dataset dataset(cfg.dataset);
+    std::vector<Dataset> datasets = resolveDatasets(cfg);
     Rng len_rng = Rng(cfg.seed).fork(0x1E46);
 
     // Materialize requests from the trace + dataset.
     std::deque<Request> requests;
     RequestId next_id = 1;
-    for (const Arrival &a : cfg.trace.arrivals) {
+    for (const Arrival &a : trace.arrivals) {
         if (a.model >= cfg.models.size())
             fatal("runExperiment: trace references unknown model");
         const ModelSpec &spec = cfg.models[a.model];
-        LengthSample len = dataset.sample(len_rng);
+        LengthSample len = datasets[a.model].sample(len_rng);
         Request req;
         req.id = next_id++;
         req.model = a.model;
@@ -75,7 +122,9 @@ runExperiment(const ExperimentConfig &cfg)
         requests.push_back(req);
     }
 
-    std::vector<double> avg_out(cfg.models.size(), dataset.meanOutput());
+    std::vector<double> avg_out(cfg.models.size());
+    for (std::size_t m = 0; m < cfg.models.size(); ++m)
+        avg_out[m] = datasets[m].meanOutput();
     ControllerConfig ctl_cfg = cfg.controller;
     ctl_cfg.seed = cfg.seed;
     auto controller =
@@ -101,7 +150,7 @@ runExperiment(const ExperimentConfig &cfg)
             kv_sampling->sum += u;
             ++kv_sampling->n;
         }
-        if (sim.now() + 2.0 <= cfg.duration)
+        if (sim.now() + 2.0 <= duration)
             sim.schedule(2.0, sample_kv);
     };
     sim.schedule(1.0, sample_kv);

@@ -10,6 +10,7 @@
 
 #include "harness/systems.hh"
 #include "metrics/report.hh"
+#include "scenario/arrival.hh"
 #include "workload/azure_trace.hh"
 #include "workload/dataset.hh"
 
@@ -32,12 +33,26 @@ struct ExperimentConfig
     ClusterSpec cluster;
     /** Model deployed behind each ModelId in the trace. */
     std::vector<ModelSpec> models;
-    /** Invocation trace (arrivals reference models by index). */
+    /**
+     * Arrival source, preferred form: a composable process expanded
+     * with `seed` at run time. The trace duration it stamps is the
+     * experiment's metrics window.
+     */
+    scenario::ArrivalProcessPtr arrivals;
+    /** Pre-materialized trace (legacy form; mutually exclusive with
+     *  `arrivals`). Its stamped duration must agree with `duration`. */
     AzureTrace trace;
-    /** Request length source. */
+    /** Request length source (all models). */
     DatasetKind dataset = DatasetKind::AzureConv;
-    /** Trace duration (metrics window). */
-    Seconds duration = 1800.0;
+    /** Per-model length source overriding `dataset` (empty = uniform;
+     *  otherwise one entry per model). */
+    std::vector<DatasetKind> datasetPerModel;
+    /**
+     * Metrics window. 0 (the default) inherits the duration stamped on
+     * the trace / arrival process, which is the single source of
+     * truth; a nonzero value must agree with it (checked fatally).
+     */
+    Seconds duration = 0.0;
     ControllerConfig controller;
     std::uint64_t seed = 123;
     /** TTFT CDF sample points for the report. */

@@ -24,6 +24,54 @@ systemName(SystemKind kind)
     return "?";
 }
 
+const char *
+systemSlug(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Sllm: return "sllm";
+      case SystemKind::SllmC: return "sllm+c";
+      case SystemKind::SllmCS: return "sllm+c+s";
+      case SystemKind::Slinfer: return "slinfer";
+      case SystemKind::SlinferNoCpu: return "slinfer-no-cpu";
+      case SystemKind::SlinferNoConsolidation:
+        return "slinfer-no-consolidation";
+      case SystemKind::SlinferNoSharing: return "slinfer-no-sharing";
+      case SystemKind::SllmCsPD: return "sllm+c+s-pd";
+      case SystemKind::SlinferPD: return "slinfer-pd";
+    }
+    return "?";
+}
+
+const std::vector<SystemKind> &
+allSystems()
+{
+    static const std::vector<SystemKind> kinds = {
+        SystemKind::Sllm,
+        SystemKind::SllmC,
+        SystemKind::SllmCS,
+        SystemKind::Slinfer,
+        SystemKind::SlinferNoCpu,
+        SystemKind::SlinferNoConsolidation,
+        SystemKind::SlinferNoSharing,
+        SystemKind::SllmCsPD,
+        SystemKind::SlinferPD,
+    };
+    return kinds;
+}
+
+SystemKind
+parseSystem(const std::string &name)
+{
+    for (SystemKind kind : allSystems()) {
+        if (name == systemSlug(kind) || name == systemName(kind))
+            return kind;
+    }
+    std::string known;
+    for (SystemKind kind : allSystems())
+        known += std::string(known.empty() ? "" : ", ") + systemSlug(kind);
+    fatal("unknown system '" + name + "' (try one of: " + known + ")");
+}
+
 int
 systemPartitions(SystemKind kind)
 {

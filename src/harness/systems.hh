@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/controller.hh"
 
@@ -29,6 +30,15 @@ enum class SystemKind
 
 /** Display name (matches the paper's labels). */
 const char *systemName(SystemKind kind);
+
+/** CLI-friendly slug ("slinfer", "sllm+c", "slinfer-no-cpu", ...). */
+const char *systemSlug(SystemKind kind);
+
+/** Every system, in declaration order (for sweeps and --list). */
+const std::vector<SystemKind> &allSystems();
+
+/** Parse a slug or display name; fatal on unknown names. */
+SystemKind parseSystem(const std::string &name);
 
 /** Partitions per node this system expects (2 for the +s variants). */
 int systemPartitions(SystemKind kind);

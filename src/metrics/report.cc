@@ -1,10 +1,43 @@
 #include "metrics/report.hh"
 
+#include <cstdio>
+#include <sstream>
+
 #include "metrics/cluster_stats.hh"
 #include "metrics/recorder.hh"
 
 namespace slinfer
 {
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 Report
 Report::build(const std::string &system, const Recorder &rec,
@@ -44,6 +77,73 @@ Report::build(const std::string &system, const Recorder &rec,
     r.migrationRate = rec.migrationRate();
     r.gpuTimeline = stats.gpuTimeline();
     return r;
+}
+
+std::string
+toJson(const Report &r)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << "{\n";
+    os << "  \"system\": \"" << jsonEscape(r.system) << "\",\n";
+    os << "  \"scenario\": \"" << jsonEscape(r.scenario) << "\",\n";
+    os << "  \"seed\": " << r.seed << ",\n";
+    os << "  \"total_requests\": " << r.totalRequests << ",\n";
+    os << "  \"completed\": " << r.completed << ",\n";
+    os << "  \"dropped\": " << r.dropped << ",\n";
+    os << "  \"slo_met\": " << r.sloMet << ",\n";
+    os << "  \"slo_rate\": " << r.sloRate << ",\n";
+    os << "  \"avg_cpu_nodes_used\": " << r.avgCpuNodesUsed << ",\n";
+    os << "  \"avg_gpu_nodes_used\": " << r.avgGpuNodesUsed << ",\n";
+    os << "  \"decode_speed_cpu\": " << r.decodeSpeedCpu << ",\n";
+    os << "  \"decode_speed_gpu\": " << r.decodeSpeedGpu << ",\n";
+    os << "  \"p50_ttft\": " << r.p50Ttft << ",\n";
+    os << "  \"p95_ttft\": " << r.p95Ttft << ",\n";
+    os << "  \"gpu_mem_util_mean\": " << r.gpuMemUtilMean << ",\n";
+    os << "  \"batch_mean\": " << r.batchMean << ",\n";
+    os << "  \"migration_rate\": " << r.migrationRate << ",\n";
+    os << "  \"kv_utilization\": " << r.kvUtilization << ",\n";
+    os << "  \"scaling_overhead\": " << r.scalingOverhead << ",\n";
+    os << "  \"ttft_cdf\": [";
+    for (std::size_t i = 0; i < r.ttftCdf.size(); ++i) {
+        os << (i ? ", " : "") << "[" << r.ttftCdf[i].first << ", "
+           << r.ttftCdf[i].second << "]";
+    }
+    os << "],\n";
+    os << "  \"gpu_timeline\": [";
+    for (std::size_t i = 0; i < r.gpuTimeline.size(); ++i) {
+        os << (i ? ", " : "") << "[" << r.gpuTimeline[i].first << ", "
+           << r.gpuTimeline[i].second << "]";
+    }
+    os << "]\n";
+    os << "}";
+    return os.str();
+}
+
+std::string
+reportCsvHeader()
+{
+    return "system,scenario,seed,total_requests,completed,dropped,"
+           "slo_met,slo_rate,avg_cpu_nodes_used,avg_gpu_nodes_used,"
+           "decode_speed_cpu,decode_speed_gpu,p50_ttft,p95_ttft,"
+           "gpu_mem_util_mean,batch_mean,migration_rate,"
+           "kv_utilization,scaling_overhead";
+}
+
+std::string
+toCsvRow(const Report &r)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << r.system << ',' << r.scenario << ',' << r.seed << ','
+       << r.totalRequests << ',' << r.completed << ',' << r.dropped << ','
+       << r.sloMet << ',' << r.sloRate << ',' << r.avgCpuNodesUsed << ','
+       << r.avgGpuNodesUsed << ',' << r.decodeSpeedCpu << ','
+       << r.decodeSpeedGpu << ',' << r.p50Ttft << ',' << r.p95Ttft << ','
+       << r.gpuMemUtilMean << ',' << r.batchMean << ','
+       << r.migrationRate << ',' << r.kvUtilization << ','
+       << r.scalingOverhead;
+    return os.str();
 }
 
 } // namespace slinfer

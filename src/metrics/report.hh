@@ -22,6 +22,10 @@ class ClusterStats;
 struct Report
 {
     std::string system;
+    /** Scenario name and seed, stamped by scenario::runScenario /
+     *  slinfer_run (empty / 0 for hand-built experiments). */
+    std::string scenario;
+    std::uint64_t seed = 0;
 
     std::size_t totalRequests = 0;
     std::size_t completed = 0;
@@ -57,6 +61,15 @@ struct Report
                         const ClusterStats &stats,
                         const std::vector<double> &ttftCdfPoints);
 };
+
+/** Serialize as a JSON object (includes the CDF and GPU timeline). */
+std::string toJson(const Report &report);
+
+/** Header line matching toCsvRow (scalar fields only). */
+std::string reportCsvHeader();
+
+/** One CSV row of the report's scalar fields. */
+std::string toCsvRow(const Report &report);
 
 } // namespace slinfer
 

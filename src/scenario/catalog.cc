@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The built-in scenario catalog.
+ *
+ * Each entry is a complete, named experiment: workload shape, fleet,
+ * datasets, cluster and SLO. The first entries mirror the paper's
+ * Azure-serverless evaluation; the rest are the what-if loads the
+ * ROADMAP asks for (steady state, diurnal cycles, flash crowds,
+ * ramp/step transitions, multi-tenant Zipf mixes, long-context hubs).
+ * Add new scenarios here; tests/test_scenario.cc checks every entry's
+ * determinism, rate calibration and registry round-trip automatically.
+ */
+
+#include "scenario/scenario.hh"
+
+namespace slinfer
+{
+namespace scenario
+{
+namespace
+{
+
+Scenario
+quickstart()
+{
+    Scenario sc;
+    sc.name = "quickstart";
+    sc.summary = "4 private 7B models on 1 CPU + 1 GPU node, 5-minute "
+                 "serverless trace";
+    AzureTraceConfig tc;
+    tc.numModels = 4;
+    tc.duration = 300.0;
+    sc.arrivals = makeAzure(tc);
+    sc.models = fleet({{llama2_7b(), 4}});
+    sc.cluster.cpuNodes = 1;
+    sc.cluster.gpuNodes = 1;
+    sc.seed = 42;
+    return sc;
+}
+
+Scenario
+azure64()
+{
+    Scenario sc;
+    sc.name = "azure-64";
+    sc.summary = "the paper's mid-scale evaluation: 64 7B models, "
+                 "30-minute Azure serverless trace";
+    AzureTraceConfig tc;
+    tc.numModels = 64;
+    tc.duration = 1800.0;
+    sc.arrivals = makeAzure(tc);
+    sc.models = fleet({{llama2_7b(), 64}});
+    return sc;
+}
+
+Scenario
+azure128()
+{
+    Scenario sc;
+    sc.name = "azure-128";
+    sc.summary = "the paper's large-scale evaluation: 128 7B models on "
+                 "an 8+8 cluster";
+    AzureTraceConfig tc;
+    tc.numModels = 128;
+    tc.duration = 1800.0;
+    sc.arrivals = makeAzure(tc);
+    sc.models = fleet({{llama2_7b(), 128}});
+    sc.cluster.cpuNodes = 8;
+    sc.cluster.gpuNodes = 8;
+    return sc;
+}
+
+Scenario
+poissonSteady()
+{
+    Scenario sc;
+    sc.name = "poisson-steady";
+    sc.summary = "steady-state Poisson load, 32 7B models, uniform "
+                 "popularity";
+    PoissonConfig pc;
+    pc.numModels = 32;
+    pc.duration = 1800.0;
+    pc.aggregateRpm = 80.0;
+    sc.arrivals = makePoisson(pc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 2;
+    sc.cluster.gpuNodes = 2;
+    return sc;
+}
+
+Scenario
+diurnalCycle()
+{
+    Scenario sc;
+    sc.name = "diurnal-cycle";
+    sc.summary = "one sinusoidal day/night cycle compressed into an "
+                 "hour, 64 7B models";
+    DiurnalConfig dc;
+    dc.numModels = 64;
+    dc.duration = 3600.0;
+    dc.period = 3600.0;
+    dc.aggregateRpm = 160.0;
+    dc.amplitude = 0.7;
+    dc.split.zipfS = 1.05;
+    sc.arrivals = makeDiurnal(dc);
+    sc.models = fleet({{llama2_7b(), 64}});
+    return sc;
+}
+
+Scenario
+flashCrowd()
+{
+    Scenario sc;
+    sc.name = "flash-crowd";
+    sc.summary = "MMPP bursts: quiet baseline with 12x flash episodes "
+                 "concentrated on one viral model";
+    FlashCrowdConfig fc;
+    fc.numModels = 32;
+    fc.duration = 1800.0;
+    fc.baselineRpm = 60.0;
+    fc.flashFactor = 12.0;
+    fc.split.zipfS = 1.1;
+    sc.arrivals = makeFlashCrowd(fc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 3;
+    sc.cluster.gpuNodes = 3;
+    return sc;
+}
+
+Scenario
+rampUp()
+{
+    Scenario sc;
+    sc.name = "ramp-up";
+    sc.summary = "linear load ramp from 20 to 200 requests/minute over "
+                 "30 minutes";
+    RampConfig rc;
+    rc.numModels = 32;
+    rc.duration = 1800.0;
+    rc.startRpm = 20.0;
+    rc.endRpm = 200.0;
+    sc.arrivals = makeRamp(rc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 3;
+    sc.cluster.gpuNodes = 3;
+    return sc;
+}
+
+Scenario
+stepSurge()
+{
+    Scenario sc;
+    sc.name = "step-surge";
+    sc.summary = "6x step surge halfway through the window (capacity "
+                 "reaction test)";
+    RampConfig rc;
+    rc.numModels = 32;
+    rc.duration = 1800.0;
+    rc.startRpm = 40.0;
+    rc.endRpm = 240.0;
+    rc.shape = RampConfig::Shape::Step;
+    rc.stepAtFrac = 0.5;
+    sc.arrivals = makeRamp(rc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 3;
+    sc.cluster.gpuNodes = 3;
+    return sc;
+}
+
+Scenario
+zipfMultitenant()
+{
+    Scenario sc;
+    sc.name = "zipf-multitenant";
+    sc.summary = "48-tenant Zipf(1.2) mix of 3B/7B/8B/13B models with "
+                 "per-tenant datasets";
+    PoissonConfig pc;
+    pc.numModels = 48;
+    pc.duration = 1800.0;
+    pc.aggregateRpm = 120.0;
+    pc.split.zipfS = 1.2;
+    sc.arrivals = makePoisson(pc);
+    sc.models = fleet({{llama32_3b(), 16},
+                       {llama2_7b(), 16},
+                       {llama31_8b(), 8},
+                       {llama2_13b(), 8}});
+    // Dataset mix: chat tenants on the conversation trace, the 8B
+    // group serving code, the 13B group long-form ShareGPT.
+    sc.datasetPerModel.assign(16, DatasetKind::AzureConv);
+    sc.datasetPerModel.insert(sc.datasetPerModel.end(), 16,
+                              DatasetKind::AzureConv);
+    sc.datasetPerModel.insert(sc.datasetPerModel.end(), 8,
+                              DatasetKind::AzureCode);
+    sc.datasetPerModel.insert(sc.datasetPerModel.end(), 8,
+                              DatasetKind::ShareGPT);
+    return sc;
+}
+
+Scenario
+mixedFleet()
+{
+    Scenario sc;
+    sc.name = "mixed-fleet";
+    sc.summary = "heterogeneous 7B/13B/34B fleet on a 6+6 cluster, "
+                 "Azure arrivals";
+    AzureTraceConfig tc;
+    tc.numModels = 36;
+    tc.duration = 1800.0;
+    sc.arrivals = makeAzure(tc);
+    sc.models = fleet({{llama2_7b(), 24},
+                       {llama2_13b(), 8},
+                       {codellama_34b(), 4}});
+    sc.cluster.cpuNodes = 6;
+    sc.cluster.gpuNodes = 6;
+    return sc;
+}
+
+Scenario
+burstGptSteady()
+{
+    Scenario sc;
+    sc.name = "burstgpt";
+    sc.summary = "BurstGPT gamma inter-arrivals (2 rps aggregate) over "
+                 "64 7B models";
+    BurstGptConfig bc;
+    bc.numModels = 64;
+    bc.duration = 1800.0;
+    bc.aggregateRps = 2.0;
+    sc.arrivals = makeBurstGpt(bc);
+    sc.models = fleet({{llama2_7b(), 64}});
+    return sc;
+}
+
+Scenario
+longContextHub()
+{
+    Scenario sc;
+    sc.name = "longcontext-hub";
+    sc.summary = "16 long-context 8B models fed 32K-token LongBench "
+                 "requests";
+    PoissonConfig pc;
+    pc.numModels = 16;
+    pc.duration = 1800.0;
+    pc.aggregateRpm = 24.0;
+    sc.arrivals = makePoisson(pc);
+    sc.models = fleet({{llama31_8b(), 16}});
+    sc.dataset = DatasetKind::LongBench;
+    sc.cluster.cpuNodes = 2;
+    sc.cluster.gpuNodes = 2;
+    return sc;
+}
+
+Scenario
+tightSloFlash()
+{
+    Scenario sc = flashCrowd();
+    sc.name = "flash-crowd-tight";
+    sc.summary = "the flash-crowd load under a 0.1 s TPOT SLO "
+                 "(latency-critical tenants)";
+    sc.controller.slo = tightSlo(0.1);
+    return sc;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+all()
+{
+    static const std::vector<Scenario> catalog = {
+        quickstart(),   azure64(),     azure128(),
+        poissonSteady(), diurnalCycle(), flashCrowd(),
+        rampUp(),       stepSurge(),   zipfMultitenant(),
+        mixedFleet(),   burstGptSteady(), longContextHub(),
+        tightSloFlash(),
+    };
+    return catalog;
+}
+
+} // namespace scenario
+} // namespace slinfer

@@ -1,0 +1,82 @@
+#include "scenario/scenario.hh"
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+namespace scenario
+{
+
+ExperimentConfig
+Scenario::toExperiment(SystemKind system, std::uint64_t seed_) const
+{
+    if (!arrivals)
+        fatal("Scenario '" + name + "': no arrival process");
+    if (models.empty())
+        fatal("Scenario '" + name + "': no models");
+    if (arrivals->numModels() != static_cast<int>(models.size()))
+        fatal("Scenario '" + name + "': arrival process covers " +
+              std::to_string(arrivals->numModels()) + " models but the "
+              "fleet has " + std::to_string(models.size()));
+
+    ExperimentConfig cfg;
+    cfg.system = system;
+    cfg.cluster = cluster;
+    cfg.models = models;
+    cfg.arrivals = arrivals;
+    cfg.dataset = dataset;
+    cfg.datasetPerModel = datasetPerModel;
+    cfg.duration = 0.0; // inherit: the scenario is the source of truth
+    cfg.controller = controller;
+    cfg.seed = seed_;
+    return cfg;
+}
+
+const Scenario *
+byName(const std::string &name)
+{
+    for (const Scenario &sc : all()) {
+        if (sc.name == name)
+            return &sc;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+names()
+{
+    std::vector<std::string> out;
+    out.reserve(all().size());
+    for (const Scenario &sc : all())
+        out.push_back(sc.name);
+    return out;
+}
+
+Report
+runScenario(const Scenario &sc, SystemKind system)
+{
+    return runScenario(sc, system, sc.seed);
+}
+
+Report
+runScenario(const Scenario &sc, SystemKind system, std::uint64_t seed)
+{
+    Report report = runExperiment(sc.toExperiment(system, seed));
+    report.scenario = sc.name;
+    report.seed = seed;
+    return report;
+}
+
+std::vector<ModelSpec>
+fleet(const std::vector<std::pair<ModelSpec, int>> &groups)
+{
+    std::vector<ModelSpec> models;
+    for (const auto &[spec, count] : groups) {
+        for (int i = 0; i < count; ++i)
+            models.push_back(spec);
+    }
+    return models;
+}
+
+} // namespace scenario
+} // namespace slinfer

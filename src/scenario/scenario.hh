@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Declarative workload scenarios.
+ *
+ * A Scenario bundles everything one serving experiment needs — an
+ * arrival process (arrival.hh), a model fleet, the request-length
+ * dataset(s), a cluster spec and the SLO/controller settings — into a
+ * single named description. The registry (all()/byName()) holds the
+ * catalog the `slinfer_run` driver exposes; benches and examples can
+ * also start from a catalog entry and tweak it.
+ */
+
+#ifndef SLINFER_SCENARIO_SCENARIO_HH
+#define SLINFER_SCENARIO_SCENARIO_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "scenario/arrival.hh"
+
+namespace slinfer
+{
+namespace scenario
+{
+
+/** One declarative workload scenario. */
+struct Scenario
+{
+    /** Registry key (kebab-case). */
+    std::string name;
+    /** One-line description for --list and the README catalog table. */
+    std::string summary;
+
+    /** Arrival process; its duration is the experiment window. */
+    ArrivalProcessPtr arrivals;
+    /** Model fleet; arrival model ids index this vector. */
+    std::vector<ModelSpec> models;
+    /** Request-length dataset used by every model... */
+    DatasetKind dataset = DatasetKind::AzureConv;
+    /** ...unless a per-model mix is given (one entry per model). */
+    std::vector<DatasetKind> datasetPerModel;
+
+    ClusterSpec cluster;
+    /** Controller knobs; controller.slo is the scenario's SLO. */
+    ControllerConfig controller;
+
+    /** Default seed (slinfer_run --seed overrides). */
+    std::uint64_t seed = 5;
+
+    Seconds duration() const { return arrivals ? arrivals->duration() : 0; }
+
+    /** Lower this scenario into a harness config for `system`. */
+    ExperimentConfig toExperiment(SystemKind system,
+                                  std::uint64_t seed) const;
+};
+
+/** The built-in catalog, in registration order. */
+const std::vector<Scenario> &all();
+
+/** Look up a catalog entry; nullptr when absent. */
+const Scenario *byName(const std::string &name);
+
+/** Catalog names, in registration order. */
+std::vector<std::string> names();
+
+/** Run `system` on the scenario with its default seed. */
+Report runScenario(const Scenario &sc, SystemKind system);
+
+/** Run `system` on the scenario with an explicit seed. */
+Report runScenario(const Scenario &sc, SystemKind system,
+                   std::uint64_t seed);
+
+/**
+ * Fleet helper: groups of identical models, e.g.
+ * fleet({{llama2_7b(), 24}, {llama2_13b(), 8}}).
+ */
+std::vector<ModelSpec>
+fleet(const std::vector<std::pair<ModelSpec, int>> &groups);
+
+} // namespace scenario
+} // namespace slinfer
+
+#endif // SLINFER_SCENARIO_SCENARIO_HH

@@ -50,6 +50,7 @@ generateAzureTrace(const AzureTraceConfig &cfg)
     double total_rpm = cfg.perModelRpm * cfg.numModels;
 
     AzureTrace trace;
+    trace.duration = cfg.duration;
     trace.perModelRpm.resize(cfg.numModels);
 
     for (int m = 0; m < cfg.numModels; ++m) {

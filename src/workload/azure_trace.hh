@@ -51,6 +51,9 @@ struct AzureTrace
 {
     std::vector<Arrival> arrivals;    ///< sorted by time
     std::vector<double> perModelRpm;  ///< average RPM of each model
+    /** Window the trace was generated for (metrics window). Stamped by
+     *  every generator; 0 only for hand-built traces. */
+    Seconds duration = 0.0;
 
     std::size_t totalRequests() const { return arrivals.size(); }
     double aggregateRpm(Seconds duration) const;

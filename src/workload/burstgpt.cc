@@ -30,6 +30,7 @@ generateBurstGpt(const BurstGptConfig &cfg)
     double scale = 1.0 / (cfg.aggregateRps * cfg.gammaShape);
 
     AzureTrace trace;
+    trace.duration = cfg.duration;
     trace.perModelRpm.assign(cfg.numModels, 0.0);
 
     Seconds t = 0.0;

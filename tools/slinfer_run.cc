@@ -1,0 +1,221 @@
+/**
+ * @file
+ * slinfer_run: the unified scenario driver.
+ *
+ * Runs any serving system on any catalog scenario (optionally sweeping
+ * seeds) and emits the Report as JSON or CSV for downstream tooling.
+ *
+ *   slinfer_run --list
+ *   slinfer_run --scenario=flash-crowd                  # system=slinfer
+ *   slinfer_run --system=sllm+c+s --scenario=azure-64
+ *   slinfer_run --scenario=diurnal-cycle --seeds=1,2,3 --format=csv
+ *   slinfer_run --scenario=ramp-up --sweep=5 --out=ramp.json
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hh"
+
+using namespace slinfer;
+
+namespace
+{
+
+/** --help prints to stdout; error paths print to stderr so the
+ *  report stream stays machine-readable. */
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: slinfer_run [options]\n"
+        "  --list                 list catalog scenarios and systems\n"
+        "  --scenario=<name>      scenario to run (required unless --list)\n"
+        "  --system=<name>        serving system (default: slinfer)\n"
+        "  --seed=<n>             seed override (default: scenario's)\n"
+        "  --seeds=<a,b,c>        run one experiment per seed\n"
+        "  --sweep=<n>            shorthand for seeds base..base+n-1\n"
+        "  --format=json|csv      output format (default: json)\n"
+        "  --out=<path>           write the report there instead of "
+        "stdout\n");
+}
+
+void
+listCatalog()
+{
+    std::printf("scenarios:\n");
+    for (const scenario::Scenario &sc : scenario::all()) {
+        std::printf("  %-18s %5.0f s  %3zu models  %s\n", sc.name.c_str(),
+                    sc.duration(), sc.models.size(), sc.summary.c_str());
+    }
+    std::printf("systems:\n ");
+    for (SystemKind kind : allSystems())
+        std::printf(" %s", systemSlug(kind));
+    std::printf("\n");
+}
+
+/** Parse a nonnegative integer; exits on malformed input. */
+std::uint64_t
+parseSeed(const std::string &tok)
+{
+    char *end = nullptr;
+    errno = 0;
+    std::uint64_t v = std::strtoull(tok.c_str(), &end, 10);
+    // strtoull silently negates a leading '-' and saturates on
+    // overflow (ERANGE); reject both.
+    if (tok.empty() || tok[0] == '-' || errno == ERANGE ||
+        end != tok.c_str() + tok.size()) {
+        std::fprintf(stderr, "malformed seed '%s'\n", tok.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+std::vector<std::uint64_t>
+parseSeedList(const std::string &text)
+{
+    std::vector<std::uint64_t> seeds;
+    std::istringstream in(text);
+    std::string tok;
+    while (std::getline(in, tok, ','))
+        seeds.push_back(parseSeed(tok));
+    return seeds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scenario_name;
+    std::string system_name = "slinfer";
+    std::string format = "json";
+    std::string out_path;
+    std::vector<std::uint64_t> seeds;
+    int sweep = 0;
+    bool list = false;
+    bool seed_set = false;
+    std::uint64_t seed = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg.rfind("--scenario=", 0) == 0) {
+            scenario_name = value();
+        } else if (arg.rfind("--system=", 0) == 0) {
+            system_name = value();
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            seed = parseSeed(value());
+            seed_set = true;
+        } else if (arg.rfind("--seeds=", 0) == 0) {
+            seeds = parseSeedList(value());
+            if (seeds.empty()) {
+                std::fprintf(stderr, "--seeds needs at least one seed\n");
+                return 2;
+            }
+        } else if (arg.rfind("--sweep=", 0) == 0) {
+            std::uint64_t n = parseSeed(value());
+            if (n == 0 || n > 10000) {
+                std::fprintf(stderr,
+                             "--sweep must be in [1, 10000]\n");
+                return 2;
+            }
+            sweep = static_cast<int>(n);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = value();
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = value();
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (list) {
+        listCatalog();
+        return 0;
+    }
+    if (scenario_name.empty()) {
+        usage(stderr);
+        return 2;
+    }
+    if (format != "json" && format != "csv") {
+        std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return 2;
+    }
+
+    if (!seeds.empty() && (seed_set || sweep > 0)) {
+        std::fprintf(stderr,
+                     "--seeds conflicts with --seed/--sweep; use "
+                     "--seeds alone or --seed [--sweep]\n");
+        return 2;
+    }
+
+    const scenario::Scenario *sc = scenario::byName(scenario_name);
+    if (!sc) {
+        std::fprintf(stderr, "unknown scenario '%s'; --list shows the "
+                             "catalog\n",
+                     scenario_name.c_str());
+        return 2;
+    }
+    SystemKind system = parseSystem(system_name);
+
+    if (seeds.empty()) {
+        std::uint64_t base = seed_set ? seed : sc->seed;
+        int n = sweep > 0 ? sweep : 1;
+        for (int i = 0; i < n; ++i)
+            seeds.push_back(base + static_cast<std::uint64_t>(i));
+    }
+
+    std::vector<Report> reports;
+    reports.reserve(seeds.size());
+    for (std::uint64_t s : seeds)
+        reports.push_back(scenario::runScenario(*sc, system, s));
+
+    std::ostringstream os;
+    if (format == "csv") {
+        os << reportCsvHeader() << "\n";
+        for (const Report &r : reports)
+            os << toCsvRow(r) << "\n";
+    } else if (reports.size() == 1) {
+        os << toJson(reports[0]) << "\n";
+    } else {
+        os << "[\n";
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            os << toJson(reports[i]) << (i + 1 < reports.size() ? ",\n"
+                                                                : "\n");
+        os << "]\n";
+    }
+
+    if (out_path.empty()) {
+        std::fputs(os.str().c_str(), stdout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+            return 1;
+        }
+        out << os.str();
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote %s (%zu report%s)\n", out_path.c_str(),
+                     reports.size(), reports.size() == 1 ? "" : "s");
+    }
+    return 0;
+}
