@@ -30,11 +30,17 @@ main()
                      "p50 TTFT", "p95 TTFT"});
             std::size_t sllm_met = 0;
             std::size_t slinfer_met = 0;
-            for (SystemKind sys : systems) {
-                Report r = bench::runAzure(sys, sizes[si], n);
-                if (sys == SystemKind::Sllm)
+            // The four systems run concurrently on the sweep pool;
+            // reports come back in declaration order.
+            std::vector<Report> reports = bench::runParallel(
+                std::size(systems), [&](std::size_t k) {
+                    return bench::runAzure(systems[k], sizes[si], n);
+                });
+            for (std::size_t k = 0; k < reports.size(); ++k) {
+                const Report &r = reports[k];
+                if (systems[k] == SystemKind::Sllm)
                     sllm_met = r.sloMet;
-                if (sys == SystemKind::Slinfer)
+                if (systems[k] == SystemKind::Slinfer)
                     slinfer_met = r.sloMet;
                 t.addRow({r.system,
                           Table::num(static_cast<long long>(r.sloMet)),

@@ -20,10 +20,12 @@ main()
                               SystemKind::SlinferNoCpu,
                               SystemKind::SlinferNoConsolidation,
                               SystemKind::SlinferNoSharing};
-    std::vector<Report> reports;
-    for (SystemKind sys : variants) {
-        Report r = bench::runAzure(sys, llama2_7b(), 64);
-        reports.push_back(r);
+    // All ablations run concurrently on the sweep pool.
+    std::vector<Report> reports = bench::runParallel(
+        std::size(variants), [&](std::size_t k) {
+            return bench::runAzure(variants[k], llama2_7b(), 64);
+        });
+    for (const Report &r : reports) {
         t.addRow({r.system, Table::pct(r.sloRate),
                   Table::num(r.avgCpuNodesUsed, 1),
                   Table::num(r.avgGpuNodesUsed, 1)});

@@ -12,10 +12,14 @@
 #define SLINFER_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "sweep/pool.hh"
 
 namespace slinfer
 {
@@ -24,6 +28,34 @@ namespace bench
 
 /** Default trace seed used across benches (deterministic output). */
 inline constexpr std::uint64_t kSeed = 5;
+
+/** Worker threads for parallel bench sweeps: SLINFER_BENCH_JOBS env
+ *  override, else every core. Set it to 1 to force serial runs. */
+inline int
+benchJobs()
+{
+    if (const char *env = std::getenv("SLINFER_BENCH_JOBS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+    }
+    return sweep::defaultJobs();
+}
+
+/**
+ * Run n independent experiments on the sweep subsystem's work-stealing
+ * pool and return the reports in call order: results are slotted by
+ * index, so the output is byte-identical to the serial loop the
+ * benches used to carry, at any worker count.
+ */
+inline std::vector<Report>
+runParallel(std::size_t n, const std::function<Report(std::size_t)> &fn)
+{
+    std::vector<Report> reports(n);
+    sweep::parallelFor(n, benchJobs(),
+                       [&](std::size_t i) { reports[i] = fn(i); });
+    return reports;
+}
 
 /** Run one system on an Azure-style trace of `numModels` replicas.
  *  Arrivals flow through the scenario ArrivalProcess interface; the

@@ -1,7 +1,9 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace slinfer
 {
@@ -9,7 +11,12 @@ namespace slinfer
 namespace
 {
 
-LogLevel gLevel = LogLevel::Warn;
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+
+/** Serializes emission so concurrent jobs never tear lines. */
+std::mutex gEmitMutex;
+
+thread_local std::string tTag;
 
 const char *
 levelName(LogLevel level)
@@ -23,39 +30,66 @@ levelName(LogLevel level)
     return "?";
 }
 
+/** One locked, single-call emission: "[LEVEL] [tag] msg". */
+void
+emit(const char *level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(gEmitMutex);
+    if (tTag.empty())
+        std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+    else
+        std::fprintf(stderr, "[%s] [%s] %s\n", level, tTag.c_str(),
+                     msg.c_str());
+    std::fflush(stderr);
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    gLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogThreadTag(const std::string &tag)
+{
+    tTag = tag;
+}
+
+const std::string &
+logThreadTag()
+{
+    return tTag;
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (level < gLevel)
+    if (level < logLevel())
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    emit(levelName(level), msg);
 }
 
 void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "[PANIC] %s\n", msg.c_str());
+    emit("PANIC", msg);
     std::abort();
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "[FATAL] %s\n", msg.c_str());
+    // Emit (and release the mutex) before exit(): atexit handlers may
+    // log, and holding gEmitMutex into them would self-deadlock.
+    emit("FATAL", msg);
     std::exit(1);
 }
 

@@ -6,6 +6,11 @@
  * aborts; fatal() flags a user/configuration error and exits. Both are
  * implemented as [[noreturn]] functions so callers can rely on them for
  * control flow.
+ *
+ * The logger is thread-safe: the minimum level is an atomic, each
+ * message is emitted as one fprintf under a mutex (no torn lines when
+ * concurrent sweep jobs log), and every thread can carry a tag that is
+ * prefixed to its messages so interleaved job output stays attributable.
  */
 
 #ifndef SLINFER_COMMON_LOG_HH
@@ -25,6 +30,16 @@ void setLogLevel(LogLevel level);
 
 /** Current global minimum level. */
 LogLevel logLevel();
+
+/**
+ * Tag prefixed to every message this thread emits, e.g. "job 7/24".
+ * Sweep workers set it per job; an empty string (the default) removes
+ * the prefix.
+ */
+void setLogThreadTag(const std::string &tag);
+
+/** This thread's current tag ("" when unset). */
+const std::string &logThreadTag();
 
 /** Emit a message at the given level (no-op if below the threshold). */
 void logMessage(LogLevel level, const std::string &msg);

@@ -62,14 +62,25 @@ allSystems()
 SystemKind
 parseSystem(const std::string &name)
 {
-    for (SystemKind kind : allSystems()) {
-        if (name == systemSlug(kind) || name == systemName(kind))
-            return kind;
-    }
+    SystemKind kind;
+    if (tryParseSystem(name, kind))
+        return kind;
     std::string known;
-    for (SystemKind kind : allSystems())
-        known += std::string(known.empty() ? "" : ", ") + systemSlug(kind);
+    for (SystemKind k : allSystems())
+        known += std::string(known.empty() ? "" : ", ") + systemSlug(k);
     fatal("unknown system '" + name + "' (try one of: " + known + ")");
+}
+
+bool
+tryParseSystem(const std::string &name, SystemKind &out)
+{
+    for (SystemKind kind : allSystems()) {
+        if (name == systemSlug(kind) || name == systemName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 int

@@ -40,6 +40,9 @@ const std::vector<SystemKind> &allSystems();
 /** Parse a slug or display name; fatal on unknown names. */
 SystemKind parseSystem(const std::string &name);
 
+/** Non-fatal variant: false on unknown names (data-file parsing). */
+bool tryParseSystem(const std::string &name, SystemKind &out);
+
 /** Partitions per node this system expects (2 for the +s variants). */
 int systemPartitions(SystemKind kind);
 

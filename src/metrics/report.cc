@@ -9,9 +9,6 @@
 namespace slinfer
 {
 
-namespace
-{
-
 std::string
 jsonEscape(const std::string &s)
 {
@@ -36,8 +33,6 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
-
-} // namespace
 
 Report
 Report::build(const std::string &system, const Recorder &rec,
@@ -79,45 +74,80 @@ Report::build(const std::string &system, const Recorder &rec,
     return r;
 }
 
+std::vector<std::pair<std::string, double>>
+reportScalarMetrics(const Report &r)
+{
+    return {
+        {"total_requests", static_cast<double>(r.totalRequests)},
+        {"completed", static_cast<double>(r.completed)},
+        {"dropped", static_cast<double>(r.dropped)},
+        {"slo_met", static_cast<double>(r.sloMet)},
+        {"slo_rate", r.sloRate},
+        {"avg_cpu_nodes_used", r.avgCpuNodesUsed},
+        {"avg_gpu_nodes_used", r.avgGpuNodesUsed},
+        {"decode_speed_cpu", r.decodeSpeedCpu},
+        {"decode_speed_gpu", r.decodeSpeedGpu},
+        {"p50_ttft", r.p50Ttft},
+        {"p95_ttft", r.p95Ttft},
+        {"gpu_mem_util_mean", r.gpuMemUtilMean},
+        {"batch_mean", r.batchMean},
+        {"migration_rate", r.migrationRate},
+        {"kv_utilization", r.kvUtilization},
+        {"scaling_overhead", r.scalingOverhead},
+    };
+}
+
+namespace
+{
+
+/** Shared JSON emission; pretty mode uses "\n"/"  ", line mode "". */
 std::string
-toJson(const Report &r)
+emitJson(const Report &r, const char *nl, const char *indent,
+         int precision)
 {
     std::ostringstream os;
-    os.precision(10);
-    os << "{\n";
-    os << "  \"system\": \"" << jsonEscape(r.system) << "\",\n";
-    os << "  \"scenario\": \"" << jsonEscape(r.scenario) << "\",\n";
-    os << "  \"seed\": " << r.seed << ",\n";
-    os << "  \"total_requests\": " << r.totalRequests << ",\n";
-    os << "  \"completed\": " << r.completed << ",\n";
-    os << "  \"dropped\": " << r.dropped << ",\n";
-    os << "  \"slo_met\": " << r.sloMet << ",\n";
-    os << "  \"slo_rate\": " << r.sloRate << ",\n";
-    os << "  \"avg_cpu_nodes_used\": " << r.avgCpuNodesUsed << ",\n";
-    os << "  \"avg_gpu_nodes_used\": " << r.avgGpuNodesUsed << ",\n";
-    os << "  \"decode_speed_cpu\": " << r.decodeSpeedCpu << ",\n";
-    os << "  \"decode_speed_gpu\": " << r.decodeSpeedGpu << ",\n";
-    os << "  \"p50_ttft\": " << r.p50Ttft << ",\n";
-    os << "  \"p95_ttft\": " << r.p95Ttft << ",\n";
-    os << "  \"gpu_mem_util_mean\": " << r.gpuMemUtilMean << ",\n";
-    os << "  \"batch_mean\": " << r.batchMean << ",\n";
-    os << "  \"migration_rate\": " << r.migrationRate << ",\n";
-    os << "  \"kv_utilization\": " << r.kvUtilization << ",\n";
-    os << "  \"scaling_overhead\": " << r.scalingOverhead << ",\n";
-    os << "  \"ttft_cdf\": [";
+    os.precision(precision);
+    os << "{" << nl;
+    os << indent << "\"system\": \"" << jsonEscape(r.system) << "\","
+       << nl;
+    os << indent << "\"scenario\": \"" << jsonEscape(r.scenario) << "\","
+       << nl;
+    os << indent << "\"seed\": " << r.seed << "," << nl;
+    // The integer counters are exact in a double and default ostream
+    // formatting prints them without a decimal point, so one loop
+    // serializes the whole metric table.
+    for (const auto &[key, value] : reportScalarMetrics(r))
+        os << indent << "\"" << key << "\": " << value << "," << nl;
+    os << indent << "\"ttft_cdf\": [";
     for (std::size_t i = 0; i < r.ttftCdf.size(); ++i) {
         os << (i ? ", " : "") << "[" << r.ttftCdf[i].first << ", "
            << r.ttftCdf[i].second << "]";
     }
-    os << "],\n";
-    os << "  \"gpu_timeline\": [";
+    os << "]," << nl;
+    os << indent << "\"gpu_timeline\": [";
     for (std::size_t i = 0; i < r.gpuTimeline.size(); ++i) {
         os << (i ? ", " : "") << "[" << r.gpuTimeline[i].first << ", "
            << r.gpuTimeline[i].second << "]";
     }
-    os << "]\n";
+    os << "]" << nl;
     os << "}";
     return os.str();
+}
+
+} // namespace
+
+std::string
+toJson(const Report &r)
+{
+    return emitJson(r, "\n", "  ", 10);
+}
+
+std::string
+toJsonLine(const Report &r)
+{
+    // max_digits10: a stored report must round-trip bit-exactly so a
+    // resumed sweep aggregates to byte-identical output.
+    return emitJson(r, "", "", 17);
 }
 
 std::string
@@ -131,11 +161,27 @@ reportCsvHeader()
 }
 
 std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
 toCsvRow(const Report &r)
 {
     std::ostringstream os;
     os.precision(10);
-    os << r.system << ',' << r.scenario << ',' << r.seed << ','
+    os << csvField(r.system) << ',' << csvField(r.scenario) << ','
+       << r.seed << ','
        << r.totalRequests << ',' << r.completed << ',' << r.dropped << ','
        << r.sloMet << ',' << r.sloRate << ',' << r.avgCpuNodesUsed << ','
        << r.avgGpuNodesUsed << ',' << r.decodeSpeedCpu << ','

@@ -65,11 +65,31 @@ struct Report
 /** Serialize as a JSON object (includes the CDF and GPU timeline). */
 std::string toJson(const Report &report);
 
+/** Same object on a single line (JSONL record embedding). */
+std::string toJsonLine(const Report &report);
+
+/**
+ * The report's scalar metrics as (json_key, value) pairs in emission
+ * order — the single source of truth the sweep summary and regression
+ * gate aggregate over.
+ */
+std::vector<std::pair<std::string, double>>
+reportScalarMetrics(const Report &report);
+
 /** Header line matching toCsvRow (scalar fields only). */
 std::string reportCsvHeader();
 
-/** One CSV row of the report's scalar fields. */
+/** One CSV row of the report's scalar fields. String fields are
+ *  RFC-4180-quoted when they contain commas/quotes/newlines. */
 std::string toCsvRow(const Report &report);
+
+/** Quote a CSV field if needed (RFC 4180: wrap in double quotes,
+ *  double any embedded quotes). */
+std::string csvField(const std::string &field);
+
+/** Escape a string for embedding in JSON output (the one escaper the
+ *  report writer and the sweep store/summary share). */
+std::string jsonEscape(const std::string &s);
 
 } // namespace slinfer
 

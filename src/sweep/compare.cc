@@ -1,0 +1,123 @@
+#include "sweep/compare.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace slinfer
+{
+namespace sweep
+{
+
+std::vector<GateMetric>
+defaultGateMetrics()
+{
+    // Slack units: goodput rpm, SLO-met fraction, seconds. The slack
+    // absorbs cross-compiler floating-point jitter on tiny baselines;
+    // real drifts on the smoke grid are far larger.
+    return {
+        {"goodput_rpm", true, 0.5},
+        {"slo_rate", true, 0.01},
+        {"p50_ttft", false, 0.05},
+        {"p95_ttft", false, 0.05},
+    };
+}
+
+CompareResult
+compare(const std::vector<SummaryRow> &current,
+        const std::vector<SummaryRow> &baseline,
+        const CompareOptions &opts)
+{
+    std::vector<GateMetric> gates =
+        opts.metrics.empty() ? defaultGateMetrics() : opts.metrics;
+
+    CompareResult res;
+    Table table({"scenario", "system", "override", "metric", "baseline",
+                 "current", "drift", "verdict"});
+
+    auto findRow = [](const std::vector<SummaryRow> &rows,
+                      const std::string &key) -> const SummaryRow * {
+        for (const SummaryRow &row : rows) {
+            if (row.key() == key)
+                return &row;
+        }
+        return nullptr;
+    };
+
+    std::ostringstream notes;
+    for (const SummaryRow &base : baseline) {
+        const SummaryRow *cur = findRow(current, base.key());
+        if (!cur) {
+            ++res.missingRows;
+            res.pass = false;
+            notes << "MISSING: baseline row " << base.scenario << "/"
+                  << base.system
+                  << (base.overrideName.empty() ? ""
+                                                : "/" + base.overrideName)
+                  << " has no counterpart in the current sweep\n";
+            continue;
+        }
+        for (const GateMetric &gate : gates) {
+            const MetricSummary *b = base.metric(gate.name);
+            const MetricSummary *c = cur->metric(gate.name);
+            if (!b || !c)
+                continue; // older baselines may lack newer metrics
+            ++res.checked;
+            double drift = c->mean - b->mean;
+            double bad = gate.higherIsBetter ? -drift : drift;
+            double allowed =
+                opts.tolerance * std::abs(b->mean) + gate.absSlack;
+            bool regress = bad > allowed;
+            if (regress) {
+                ++res.regressions;
+                res.pass = false;
+            }
+            double rel = b->mean != 0.0 ? 100.0 * drift / b->mean : 0.0;
+            std::string verdict =
+                regress ? "REGRESSION"
+                        : (bad < -allowed ? "improved" : "ok");
+            table.addRow({cur->scenario, cur->system,
+                          cur->overrideName.empty() ? "-"
+                                                    : cur->overrideName,
+                          gate.name, Table::num(b->mean, 4),
+                          Table::num(c->mean, 4),
+                          Table::num(rel, 1) + "%", verdict});
+        }
+    }
+    for (const SummaryRow &cur : current) {
+        if (!findRow(baseline, cur.key())) {
+            ++res.newRows;
+            notes << "NEW: row " << cur.scenario << "/" << cur.system
+                  << (cur.overrideName.empty() ? ""
+                                               : "/" + cur.overrideName)
+                  << " is not in the baseline (refresh it to start "
+                     "gating this cell)\n";
+        }
+    }
+
+    // Fail closed: a baseline that matched rows but yielded zero
+    // comparable metric cells (renamed metrics, malformed writer)
+    // would otherwise green-light CI while gating nothing.
+    if (!baseline.empty() && res.checked == 0) {
+        res.pass = false;
+        notes << "EMPTY GATE: no gated metric was found in both the "
+                 "baseline and the current summary; the baseline is "
+                 "stale or malformed — regenerate it\n";
+    }
+
+    std::ostringstream os;
+    table.print(os);
+    os << notes.str();
+    os << (res.pass ? "PASS" : "FAIL") << ": " << res.checked
+       << " metric cells checked, " << res.regressions << " regression"
+       << (res.regressions == 1 ? "" : "s") << ", " << res.missingRows
+       << " missing row" << (res.missingRows == 1 ? "" : "s") << ", "
+       << res.newRows << " new row" << (res.newRows == 1 ? "" : "s")
+       << " (tolerance " << opts.tolerance * 100.0 << "%)\n";
+    res.table = os.str();
+    return res;
+}
+
+} // namespace sweep
+} // namespace slinfer

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Perf-regression gate: diff a sweep summary against a checked-in
+ * baseline and fail readably when the headline metrics drift.
+ *
+ * This is the seed of the repo's BENCH_* perf trajectory: CI runs a
+ * smoke sweep, compares against the bench/baselines JSON files, and a
+ * PR that
+ * regresses goodput or TTFT beyond tolerance fails with a table
+ * pointing at the offending (scenario, system, metric) cell rather
+ * than a bare exit code.
+ */
+
+#ifndef SLINFER_SWEEP_COMPARE_HH
+#define SLINFER_SWEEP_COMPARE_HH
+
+#include <string>
+#include <vector>
+
+#include "sweep/summary.hh"
+
+namespace slinfer
+{
+namespace sweep
+{
+
+/** One gated metric and its drift policy. */
+struct GateMetric
+{
+    std::string name;
+    /** Direction: true = a drop is a regression (goodput), false = a
+     *  rise is (latency). */
+    bool higherIsBetter = true;
+    /** Absolute slack added on top of the relative tolerance, in the
+     *  metric's own unit, so near-zero baselines don't gate on noise. */
+    double absSlack = 0.0;
+};
+
+struct CompareOptions
+{
+    /** Allowed relative drift in the bad direction (0.10 = 10%). */
+    double tolerance = 0.10;
+    /** Metrics to gate; empty uses the default set (goodput_rpm,
+     *  slo_rate, p50_ttft, p95_ttft). */
+    std::vector<GateMetric> metrics;
+};
+
+/** The default gate set (used when CompareOptions::metrics is empty). */
+std::vector<GateMetric> defaultGateMetrics();
+
+struct CompareResult
+{
+    bool pass = true;
+    std::size_t checked = 0;     ///< metric cells compared
+    std::size_t regressions = 0; ///< cells beyond tolerance
+    std::size_t missingRows = 0; ///< baseline rows absent from current
+    std::size_t newRows = 0;     ///< current rows absent from baseline
+    /** Human-readable drift table plus verdict line. */
+    std::string table;
+};
+
+/** Compare current against baseline rows. Missing current rows fail
+ *  the gate; rows new in current are reported but do not fail. */
+CompareResult compare(const std::vector<SummaryRow> &current,
+                      const std::vector<SummaryRow> &baseline,
+                      const CompareOptions &opts = {});
+
+} // namespace sweep
+} // namespace slinfer
+
+#endif // SLINFER_SWEEP_COMPARE_HH

@@ -1,0 +1,251 @@
+#include "sweep/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace slinfer
+{
+namespace sweep
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::num(const std::string &key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : dflt;
+}
+
+std::string
+JsonValue::string(const std::string &key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str : dflt;
+}
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string err;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+                 bool boolean)
+    {
+        std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += n;
+        out.kind = kind;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                  if (pos + 4 > text.size())
+                      return fail("truncated \\u escape");
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = text[pos++];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= h - '0';
+                      else if (h >= 'a' && h <= 'f')
+                          code |= h - 'a' + 10;
+                      else if (h >= 'A' && h <= 'F')
+                          code |= h - 'A' + 10;
+                      else
+                          return fail("bad \\u escape");
+                  }
+                  // Our writer only emits \u00xx control escapes; decode
+                  // the Latin-1 range as one byte and anything else as
+                  // UTF-8 (two/three bytes, no surrogate handling).
+                  if (code < 0x80) {
+                      out += static_cast<char>(code);
+                  } else if (code < 0x800) {
+                      out += static_cast<char>(0xC0 | (code >> 6));
+                      out += static_cast<char>(0x80 | (code & 0x3F));
+                  } else {
+                      out += static_cast<char>(0xE0 | (code >> 12));
+                      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                      out += static_cast<char>(0x80 | (code & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected number");
+        char *end = nullptr;
+        std::string tok = text.substr(start, pos - start);
+        out.number = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            return fail("malformed number");
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.object.emplace(std::move(key), std::move(member));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                JsonValue elem;
+                if (!parseValue(elem))
+                    return false;
+                out.array.push_back(std::move(elem));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (c == 't')
+            return literal("true", out, JsonValue::Kind::Bool, true);
+        if (c == 'f')
+            return literal("false", out, JsonValue::Kind::Bool, false);
+        if (c == 'n')
+            return literal("null", out, JsonValue::Kind::Null, false);
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *err)
+{
+    Parser p(text);
+    bool ok = p.parseValue(out);
+    if (ok) {
+        p.skipWs();
+        if (p.pos != text.size()) {
+            ok = false;
+            p.fail("trailing garbage");
+        }
+    }
+    if (!ok && err)
+        *err = p.err;
+    return ok;
+}
+
+} // namespace sweep
+} // namespace slinfer

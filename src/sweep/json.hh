@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON reader for the sweep subsystem.
+ *
+ * The sweep result store and the regression gate only ever read JSON
+ * this repository wrote itself (Report records, sweep summaries,
+ * checked-in baselines), so this is a small strict parser for that
+ * dialect: objects, arrays, strings with the escapes jsonEscape()
+ * emits, doubles, bools, null. It is not a general-purpose validator;
+ * malformed input yields a parse error, not UB.
+ */
+
+#ifndef SLINFER_SWEEP_JSON_HH
+#define SLINFER_SWEEP_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slinfer
+{
+namespace sweep
+{
+
+/** A parsed JSON value (tree form). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Insertion order is not preserved; sweep JSON never relies on it. */
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member or nullptr. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Numeric member with a default (0.0 keeps old files readable). */
+    double num(const std::string &key, double dflt = 0.0) const;
+
+    /** String member with a default. */
+    std::string string(const std::string &key,
+                       const std::string &dflt = "") const;
+};
+
+/**
+ * Parse one JSON document. Returns false (with a message in *err) on
+ * malformed input; trailing garbage after the document is an error.
+ * (The matching writer-side escaper is jsonEscape() in
+ * metrics/report.hh.)
+ */
+bool parseJson(const std::string &text, JsonValue &out, std::string *err);
+
+} // namespace sweep
+} // namespace slinfer
+
+#endif // SLINFER_SWEEP_JSON_HH

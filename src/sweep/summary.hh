@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cross-seed aggregation of sweep records.
+ *
+ * Records are grouped by (scenario, system, override set); the seeds
+ * within a group are replicates. For every report metric the group
+ * gets mean / p50 / p99 across replicates plus a 95% percentile
+ * bootstrap confidence interval on the mean (deterministically seeded
+ * from the group and metric name, so the summary is byte-stable).
+ * A derived goodput metric (SLO-met requests per minute of simulated
+ * time) heads the list — it is the headline number the regression
+ * gate watches.
+ */
+
+#ifndef SLINFER_SWEEP_SUMMARY_HH
+#define SLINFER_SWEEP_SUMMARY_HH
+
+#include <string>
+#include <vector>
+
+#include "sweep/json.hh"
+#include "sweep/sweep.hh"
+
+namespace slinfer
+{
+namespace sweep
+{
+
+/** Aggregate of one metric across a group's replicates. */
+struct MetricSummary
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    /** 95% percentile-bootstrap CI on the mean. */
+    double ciLo = 0.0;
+    double ciHi = 0.0;
+};
+
+/** One (scenario, system, override set) group. */
+struct SummaryRow
+{
+    std::string scenario;
+    std::string system; ///< slug
+    std::string overrideName;
+    std::string overrides; ///< canonical "k=v;k=v"
+    std::size_t replicates = 0;
+    Seconds duration = 0.0;
+    /** (metric name, summary), fixed order, goodput_rpm first. */
+    std::vector<std::pair<std::string, MetricSummary>> metrics;
+
+    /** Stable row identity for baseline matching. */
+    std::string key() const;
+
+    const MetricSummary *metric(const std::string &name) const;
+};
+
+/**
+ * mean/p50/p99 of `samples` plus the bootstrap CI on the mean
+ * (`iters` resamples, deterministic in `seed`).
+ */
+MetricSummary bootstrapSummary(const std::vector<double> &samples,
+                               std::uint64_t seed, int iters = 1000);
+
+/** Group records (grid order preserved) and aggregate every metric. */
+std::vector<SummaryRow> summarize(const std::vector<Record> &records,
+                                  int bootstrapIters = 1000);
+
+std::string summaryToJson(const std::vector<SummaryRow> &rows);
+std::string summaryToCsv(const std::vector<SummaryRow> &rows);
+
+/** Parse summaryToJson() output (e.g. a checked-in baseline). */
+bool summaryFromJson(const std::string &text,
+                     std::vector<SummaryRow> &out, std::string *err);
+
+} // namespace sweep
+} // namespace slinfer
+
+#endif // SLINFER_SWEEP_SUMMARY_HH

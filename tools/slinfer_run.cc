@@ -10,6 +10,11 @@
  *   slinfer_run --system=sllm+c+s --scenario=azure-64
  *   slinfer_run --scenario=diurnal-cycle --seeds=1,2,3 --format=csv
  *   slinfer_run --scenario=ramp-up --sweep=5 --out=ramp.json
+ *   slinfer_run --scenario=quickstart,poisson-steady --format=csv
+ *
+ * Multi-scenario invocations emit the CSV header exactly once; --quiet
+ * silences per-run logging for sweep-driven use. (For grids, parallel
+ * execution and resume, see slinfer_sweep.)
  */
 
 #include <cerrno>
@@ -20,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "scenario/scenario.hh"
+#include "sweep/sweep.hh"
 
 using namespace slinfer;
 
@@ -35,14 +42,16 @@ usage(std::FILE *to)
     std::fprintf(to,
         "usage: slinfer_run [options]\n"
         "  --list                 list catalog scenarios and systems\n"
-        "  --scenario=<name>      scenario to run (required unless --list)\n"
+        "  --scenario=<a,b,..>    scenario(s) to run (required unless "
+        "--list)\n"
         "  --system=<name>        serving system (default: slinfer)\n"
         "  --seed=<n>             seed override (default: scenario's)\n"
-        "  --seeds=<a,b,c>        run one experiment per seed\n"
+        "  --seeds=<a,b,c|a..b>   run one experiment per seed\n"
         "  --sweep=<n>            shorthand for seeds base..base+n-1\n"
         "  --format=json|csv      output format (default: json)\n"
         "  --out=<path>           write the report there instead of "
-        "stdout\n");
+        "stdout\n"
+        "  --quiet                suppress per-run logging\n");
 }
 
 void
@@ -76,29 +85,19 @@ parseSeed(const std::string &tok)
     return v;
 }
 
-std::vector<std::uint64_t>
-parseSeedList(const std::string &text)
-{
-    std::vector<std::uint64_t> seeds;
-    std::istringstream in(text);
-    std::string tok;
-    while (std::getline(in, tok, ','))
-        seeds.push_back(parseSeed(tok));
-    return seeds;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string scenario_name;
+    std::string scenario_arg;
     std::string system_name = "slinfer";
     std::string format = "json";
     std::string out_path;
     std::vector<std::uint64_t> seeds;
     int sweep = 0;
     bool list = false;
+    bool quiet = false;
     bool seed_set = false;
     std::uint64_t seed = 0;
 
@@ -112,17 +111,20 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
         } else if (arg.rfind("--scenario=", 0) == 0) {
-            scenario_name = value();
+            scenario_arg = value();
         } else if (arg.rfind("--system=", 0) == 0) {
             system_name = value();
         } else if (arg.rfind("--seed=", 0) == 0) {
             seed = parseSeed(value());
             seed_set = true;
         } else if (arg.rfind("--seeds=", 0) == 0) {
-            seeds = parseSeedList(value());
-            if (seeds.empty()) {
-                std::fprintf(stderr, "--seeds needs at least one seed\n");
+            // Same grammar as slinfer_sweep: "a,b,c" or a range "a..b".
+            std::string err;
+            if (!sweep::parseSeedList(value(), seeds, &err)) {
+                std::fprintf(stderr, "--seeds: %s\n", err.c_str());
                 return 2;
             }
         } else if (arg.rfind("--sweep=", 0) == 0) {
@@ -148,7 +150,7 @@ main(int argc, char **argv)
         listCatalog();
         return 0;
     }
-    if (scenario_name.empty()) {
+    if (scenario_arg.empty()) {
         usage(stderr);
         return 2;
     }
@@ -164,29 +166,51 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const scenario::Scenario *sc = scenario::byName(scenario_name);
-    if (!sc) {
-        std::fprintf(stderr, "unknown scenario '%s'; --list shows the "
-                             "catalog\n",
-                     scenario_name.c_str());
+    if (quiet)
+        setLogLevel(LogLevel::Warn);
+
+    // Resolve every scenario before running any: a typo in the second
+    // name should not waste the first one's run.
+    std::vector<const scenario::Scenario *> scs;
+    {
+        std::istringstream in(scenario_arg);
+        std::string name;
+        while (std::getline(in, name, ',')) {
+            if (name.empty())
+                continue;
+            const scenario::Scenario *sc = scenario::byName(name);
+            if (!sc) {
+                std::fprintf(stderr, "unknown scenario '%s'; --list "
+                                     "shows the catalog\n",
+                             name.c_str());
+                return 2;
+            }
+            scs.push_back(sc);
+        }
+    }
+    if (scs.empty()) {
+        usage(stderr);
         return 2;
     }
     SystemKind system = parseSystem(system_name);
 
-    if (seeds.empty()) {
-        std::uint64_t base = seed_set ? seed : sc->seed;
-        int n = sweep > 0 ? sweep : 1;
-        for (int i = 0; i < n; ++i)
-            seeds.push_back(base + static_cast<std::uint64_t>(i));
-    }
-
     std::vector<Report> reports;
-    reports.reserve(seeds.size());
-    for (std::uint64_t s : seeds)
-        reports.push_back(scenario::runScenario(*sc, system, s));
+    for (const scenario::Scenario *sc : scs) {
+        std::vector<std::uint64_t> sc_seeds = seeds;
+        if (sc_seeds.empty()) {
+            std::uint64_t base = seed_set ? seed : sc->seed;
+            int n = sweep > 0 ? sweep : 1;
+            for (int i = 0; i < n; ++i)
+                sc_seeds.push_back(base + static_cast<std::uint64_t>(i));
+        }
+        for (std::uint64_t s : sc_seeds)
+            reports.push_back(scenario::runScenario(*sc, system, s));
+    }
 
     std::ostringstream os;
     if (format == "csv") {
+        // One header regardless of how many scenarios/seeds follow, so
+        // concatenating multi-scenario output stays machine-readable.
         os << reportCsvHeader() << "\n";
         for (const Report &r : reports)
             os << toCsvRow(r) << "\n";
@@ -214,8 +238,11 @@ main(int argc, char **argv)
             std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
             return 1;
         }
-        std::fprintf(stderr, "wrote %s (%zu report%s)\n", out_path.c_str(),
-                     reports.size(), reports.size() == 1 ? "" : "s");
+        if (!quiet) {
+            std::fprintf(stderr, "wrote %s (%zu report%s)\n",
+                         out_path.c_str(), reports.size(),
+                         reports.size() == 1 ? "" : "s");
+        }
     }
     return 0;
 }
