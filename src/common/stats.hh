@@ -51,6 +51,9 @@ class CdfBuilder
   public:
     void add(double x);
 
+    /** Pre-size the sample buffer (reserve-ahead for hot recording). */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
     std::size_t count() const { return samples_.size(); }
 
     /** Value at percentile p in [0, 100]; 0 if empty. */

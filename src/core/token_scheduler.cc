@@ -185,14 +185,18 @@ TokenScheduler::finishIteration()
 {
     Instance *inst = curInst_;
     Request *prefill = curPrefill_;
-    std::vector<Request *> batch = std::move(curBatch_);
+    // Swap, don't move-to-local: the swap hands curBatch_ the scratch's
+    // old capacity, so steady-state decode iterations allocate nothing.
+    doneBatch_.swap(curBatch_);
+    std::vector<Request *> &batch = doneBatch_;
     curInst_ = nullptr;
     curPrefill_ = nullptr;
     curBatch_.clear();
     part_.busy = false;
     busyUntil_ = sim_.now();
 
-    std::vector<Request *> done;
+    finished_.clear();
+    std::vector<Request *> &done = finished_;
     std::vector<Instance *> shortages;
 
     if (prefill) {

@@ -90,6 +90,17 @@ class TokenScheduler
     Instance *curInst_ = nullptr;
     Request *curPrefill_ = nullptr;
     std::vector<Request *> curBatch_;
+    /**
+     * Scratch the finishing iteration swaps curBatch_ into, so its
+     * capacity is recycled instead of freed every decode iteration.
+     * Only finishIteration touches it, and finishIteration never
+     * nests (it only runs from a scheduled event), so reentrant
+     * kick()/runDecode() calls from the completion callbacks cannot
+     * clobber it.
+     */
+    std::vector<Request *> doneBatch_;
+    /** Scratch for completed-request callbacks, recycled likewise. */
+    std::vector<Request *> finished_;
 };
 
 } // namespace slinfer

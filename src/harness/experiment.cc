@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "common/log.hh"
 #include "metrics/cluster_stats.hh"
@@ -101,8 +100,15 @@ runExperiment(const ExperimentConfig &cfg)
     std::vector<Dataset> datasets = resolveDatasets(cfg);
     Rng len_rng = Rng(cfg.seed).fork(0x1E46);
 
-    // Materialize requests from the trace + dataset.
-    std::deque<Request> requests;
+    // Materialize requests from the trace + dataset into one reserved
+    // block. The vector never grows afterwards, so &req stays stable
+    // for the arrival lambdas below, and the arena, recorder and
+    // request storage together make the steady-state run allocation-
+    // free per event.
+    std::vector<Request> requests;
+    requests.reserve(trace.arrivals.size());
+    recorder.reserve(trace.arrivals.size());
+    sim.reserveEvents(trace.arrivals.size() + 1024);
     RequestId next_id = 1;
     for (const Arrival &a : trace.arrivals) {
         if (a.model >= cfg.models.size())

@@ -25,6 +25,19 @@ void
 ClusterStats::start(Seconds until)
 {
     until_ = until;
+    // Reserve-ahead: the number of samples is known exactly, and the
+    // GPU memory-utilization CDF collects at most one point per GPU
+    // node per sample. Growing these mid-run is avoidable churn.
+    std::size_t nsamples =
+        interval_ > 0
+            ? static_cast<std::size_t>(until / interval_) + 2
+            : 0;
+    std::size_t gpu_nodes = 0;
+    for (const auto &node : nodes_)
+        if (node->spec().kind == HwKind::Gpu)
+            ++gpu_nodes;
+    gpuTimeline_.reserve(nsamples);
+    gpuMemUtil_.reserve(nsamples * gpu_nodes);
     sim_.schedule(0.0, [this] { sample(); });
 }
 

@@ -16,6 +16,9 @@ namespace slinfer
 class Recorder
 {
   public:
+    /** Pre-size sample buffers for an experiment of `n` requests. */
+    void reserve(std::size_t n) { ttft_.reserve(n); }
+
     void onArrival(const Request &req);
     void onDrop(const Request &req, Seconds now);
     void onComplete(const Request &req, Seconds now);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <numeric>
 #include <sstream>
@@ -343,6 +344,80 @@ class BurstGptProcess final : public ArrivalProcess
 };
 
 // ------------------------------------------------------------------
+// Composition.
+// ------------------------------------------------------------------
+
+class CompositeProcess final : public ArrivalProcess
+{
+  public:
+    explicit CompositeProcess(std::vector<ArrivalProcessPtr> parts)
+        : parts_(std::move(parts))
+    {
+    }
+
+    const char *kind() const override { return "composite"; }
+
+    Seconds
+    duration() const override
+    {
+        Seconds d = 0.0;
+        for (const auto &p : parts_)
+            d = std::max(d, p->duration());
+        return d;
+    }
+
+    int numModels() const override { return parts_[0]->numModels(); }
+
+    double
+    targetAggregateRpm() const override
+    {
+        // A component's arrivals all lie inside its own window, so
+        // over the composite window its rate dilutes by the duration
+        // ratio.
+        Seconds window = duration();
+        double rpm = 0.0;
+        for (const auto &p : parts_)
+            rpm += p->targetAggregateRpm() * (p->duration() / window);
+        return rpm;
+    }
+
+    AzureTrace
+    generate(std::uint64_t seed) const override
+    {
+        AzureTrace out;
+        out.duration = duration();
+        out.perModelRpm.assign(numModels(), 0.0);
+        for (std::size_t i = 0; i < parts_.size(); ++i) {
+            // Independent sub-seed per component (splitmix64 of the
+            // composite seed and the component index).
+            std::uint64_t sub =
+                (seed + 0x9E3779B97F4A7C15ull * (i + 1));
+            sub = (sub ^ (sub >> 30)) * 0xBF58476D1CE4E5B9ull;
+            sub = (sub ^ (sub >> 27)) * 0x94D049BB133111EBull;
+            sub ^= sub >> 31;
+            AzureTrace part = parts_[i]->generate(sub);
+            // Stable merge: equal times keep earlier components
+            // first, so the composite is deterministic.
+            std::vector<Arrival> merged;
+            merged.reserve(out.arrivals.size() + part.arrivals.size());
+            std::merge(out.arrivals.begin(), out.arrivals.end(),
+                       part.arrivals.begin(), part.arrivals.end(),
+                       std::back_inserter(merged),
+                       [](const Arrival &a, const Arrival &b) {
+                           return a.time < b.time;
+                       });
+            out.arrivals = std::move(merged);
+            for (std::size_t m = 0; m < part.perModelRpm.size(); ++m)
+                out.perModelRpm[m] += part.perModelRpm[m];
+        }
+        return out;
+    }
+
+  private:
+    std::vector<ArrivalProcessPtr> parts_;
+};
+
+// ------------------------------------------------------------------
 // Replay.
 // ------------------------------------------------------------------
 
@@ -423,6 +498,20 @@ ArrivalProcessPtr
 makeBurstGpt(const BurstGptConfig &cfg)
 {
     return std::make_shared<BurstGptProcess>(cfg);
+}
+
+ArrivalProcessPtr
+makeComposite(std::vector<ArrivalProcessPtr> parts)
+{
+    if (parts.empty())
+        fatal("makeComposite: no components");
+    for (const auto &p : parts) {
+        if (!p)
+            fatal("makeComposite: null component");
+        if (p->numModels() != parts[0]->numModels())
+            fatal("makeComposite: components disagree on numModels");
+    }
+    return std::make_shared<CompositeProcess>(std::move(parts));
 }
 
 ArrivalProcessPtr

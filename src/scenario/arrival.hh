@@ -169,6 +169,23 @@ ArrivalProcessPtr makeAzure(const AzureTraceConfig &cfg);
 ArrivalProcessPtr makeBurstGpt(const BurstGptConfig &cfg);
 
 // ------------------------------------------------------------------
+// Composition.
+// ------------------------------------------------------------------
+
+/**
+ * Superpose several arrival processes over the same model space.
+ *
+ * Each component generates with an independent sub-seed derived from
+ * the composite seed, the traces are merged by time (stable: equal
+ * stamps keep component order), the duration is the longest
+ * component's, and per-model rates add. All components must agree on
+ * numModels. This is how long-duration fleet composites are built —
+ * e.g. a diurnal baseline with an MMPP flash-crowd layer on top
+ * (catalog entry `fleet-diurnal-surge`).
+ */
+ArrivalProcessPtr makeComposite(std::vector<ArrivalProcessPtr> parts);
+
+// ------------------------------------------------------------------
 // Trace replay.
 // ------------------------------------------------------------------
 

@@ -261,6 +261,75 @@ tightSloFlash()
     return sc;
 }
 
+// ------------------------------------------------------------------
+// The fleet family: 10x/100x the paper's model counts plus
+// long-duration composites — the loads the event-arena rebuild of
+// the simulator core exists to make routine (see DESIGN.md, "The
+// event arena"). fleet-640 is part of the CI smoke grid
+// (sweeps/smoke.manifest).
+// ------------------------------------------------------------------
+
+Scenario
+fleet640()
+{
+    Scenario sc;
+    sc.name = "fleet-640";
+    sc.summary = "10x the paper's mid-scale fleet: 640 7B models on a "
+                 "40+40 cluster, Azure serverless arrivals";
+    AzureTraceConfig tc;
+    tc.numModels = 640;
+    tc.duration = 1800.0;
+    sc.arrivals = makeAzure(tc);
+    sc.models = fleet({{llama2_7b(), 640}});
+    sc.cluster.cpuNodes = 40;
+    sc.cluster.gpuNodes = 40;
+    return sc;
+}
+
+Scenario
+fleet6400()
+{
+    Scenario sc;
+    sc.name = "fleet-6400";
+    sc.summary = "100x scale: 6400 7B models on a 400+400 cluster "
+                 "(sized for the arena core; minutes of wall-clock)";
+    AzureTraceConfig tc;
+    tc.numModels = 6400;
+    tc.duration = 1800.0;
+    sc.arrivals = makeAzure(tc);
+    sc.models = fleet({{llama2_7b(), 6400}});
+    sc.cluster.cpuNodes = 400;
+    sc.cluster.gpuNodes = 400;
+    return sc;
+}
+
+Scenario
+fleetDiurnalSurge()
+{
+    Scenario sc;
+    sc.name = "fleet-diurnal-surge";
+    sc.summary = "1-hour composite over 320 models: a diurnal cycle "
+                 "with an MMPP flash-crowd layer on top";
+    DiurnalConfig dc;
+    dc.numModels = 320;
+    dc.duration = 3600.0;
+    dc.period = 3600.0;
+    dc.aggregateRpm = 480.0;
+    dc.amplitude = 0.7;
+    dc.split.zipfS = 1.05;
+    FlashCrowdConfig fc;
+    fc.numModels = 320;
+    fc.duration = 3600.0;
+    fc.baselineRpm = 96.0;
+    fc.flashFactor = 12.0;
+    fc.split.zipfS = 1.1;
+    sc.arrivals = makeComposite({makeDiurnal(dc), makeFlashCrowd(fc)});
+    sc.models = fleet({{llama2_7b(), 320}});
+    sc.cluster.cpuNodes = 24;
+    sc.cluster.gpuNodes = 24;
+    return sc;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -271,7 +340,8 @@ all()
         poissonSteady(), diurnalCycle(), flashCrowd(),
         rampUp(),       stepSurge(),   zipfMultitenant(),
         mixedFleet(),   burstGptSteady(), longContextHub(),
-        tightSloFlash(),
+        tightSloFlash(), fleet640(),   fleet6400(),
+        fleetDiurnalSurge(),
     };
     return catalog;
 }

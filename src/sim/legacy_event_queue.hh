@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The pre-arena event queue, preserved verbatim (renamed) for two
+ * purposes only:
+ *
+ *  1. `bench/bench_sim_throughput.cc` measures the production
+ *     `EventQueue` against it, so the "events/sec speedup" line in
+ *     BENCH_sim_throughput.json stays an apples-to-apples number on
+ *     any host rather than a one-off claim.
+ *  2. `tests/test_sim.cc` uses it as the semantic oracle in the
+ *     fuzz-style schedule/cancel interleaving test: both queues must
+ *     fire the same callbacks in the same order for any program.
+ *
+ * Do not use it in new code — it pays a `shared_ptr<bool>` control
+ * block per scheduled event and a `std::function` per callback, which
+ * is exactly the churn the arena-based `sim/event_queue.hh` removes
+ * (see DESIGN.md, "The event arena").
+ */
+
+#ifndef SLINFER_SIM_LEGACY_EVENT_QUEUE_HH
+#define SLINFER_SIM_LEGACY_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+/** Opaque handle allowing a scheduled legacy event to be cancelled. */
+class LegacyEventHandle
+{
+  public:
+    LegacyEventHandle() = default;
+
+    void
+    cancel()
+    {
+        if (alive_ && *alive_)
+            *alive_ = false;
+    }
+
+    bool
+    pending() const
+    {
+        return alive_ && *alive_;
+    }
+
+  private:
+    friend class LegacyEventQueue;
+    explicit LegacyEventHandle(std::shared_ptr<bool> alive)
+        : alive_(std::move(alive))
+    {
+    }
+
+    std::shared_ptr<bool> alive_;
+};
+
+/**
+ * Time-ordered queue of callbacks: heap of
+ * (time, seq, shared_ptr-guarded std::function) with lazy
+ * cancellation sweeping at the heap head.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    LegacyEventHandle
+    schedule(Seconds when, Callback cb)
+    {
+        auto alive = std::make_shared<bool>(true);
+        heap_.push(Entry{when, nextSeq_++, std::move(cb), alive});
+        ++live_;
+        return LegacyEventHandle(alive);
+    }
+
+    bool
+    empty() const
+    {
+        dropDead();
+        return heap_.empty();
+    }
+
+    Seconds
+    nextTime() const
+    {
+        dropDead();
+        if (heap_.empty())
+            panic("LegacyEventQueue::nextTime on empty queue");
+        return heap_.top().when;
+    }
+
+    Seconds
+    popAndRun()
+    {
+        dropDead();
+        if (heap_.empty())
+            panic("LegacyEventQueue::popAndRun on empty queue");
+        Entry e = heap_.top();
+        heap_.pop();
+        --live_;
+        *e.alive = false;
+        e.cb();
+        return e.when;
+    }
+
+    /** Upper bound on the live events (cancelled entries counted
+     *  until lazily swept at the heap head). */
+    std::size_t size() const { return live_; }
+
+  private:
+    struct Entry
+    {
+        Seconds when;
+        std::uint64_t seq;
+        Callback cb;
+        std::shared_ptr<bool> alive;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    dropDead() const
+    {
+        while (!heap_.empty() && !*heap_.top().alive) {
+            heap_.pop();
+            --live_;
+        }
+    }
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    mutable std::size_t live_ = 0;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_SIM_LEGACY_EVENT_QUEUE_HH

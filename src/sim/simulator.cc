@@ -1,25 +1,7 @@
 #include "sim/simulator.hh"
 
-#include "common/log.hh"
-
 namespace slinfer
 {
-
-EventHandle
-Simulator::schedule(Seconds delay, EventQueue::Callback cb)
-{
-    if (delay < 0)
-        panic("Simulator::schedule with negative delay");
-    return queue_.schedule(now_ + delay, std::move(cb));
-}
-
-EventHandle
-Simulator::scheduleAt(Seconds when, EventQueue::Callback cb)
-{
-    if (when < now_)
-        panic("Simulator::scheduleAt in the past");
-    return queue_.schedule(when, std::move(cb));
-}
 
 Seconds
 Simulator::run()

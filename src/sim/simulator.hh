@@ -4,11 +4,15 @@
  *
  * All cluster components hold a reference to one Simulator, schedule
  * callbacks with relative delays, and read the current time via now().
+ * schedule()/scheduleAt() forward the callable straight into the event
+ * arena (sim/event_queue.hh), so a lambda capturing a few pointers is
+ * stored inline with no allocation.
  */
 
 #ifndef SLINFER_SIM_SIMULATOR_HH
 #define SLINFER_SIM_SIMULATOR_HH
 
+#include "common/log.hh"
 #include "sim/event_queue.hh"
 
 namespace slinfer
@@ -21,10 +25,24 @@ class Simulator
     Seconds now() const { return now_; }
 
     /** Schedule `cb` after `delay` seconds (>= 0). */
-    EventHandle schedule(Seconds delay, EventQueue::Callback cb);
+    template <typename F>
+    EventHandle
+    schedule(Seconds delay, F &&cb)
+    {
+        if (delay < 0)
+            panic("Simulator::schedule with negative delay");
+        return queue_.schedule(now_ + delay, std::forward<F>(cb));
+    }
 
     /** Schedule `cb` at absolute time `when` (>= now). */
-    EventHandle scheduleAt(Seconds when, EventQueue::Callback cb);
+    template <typename F>
+    EventHandle
+    scheduleAt(Seconds when, F &&cb)
+    {
+        if (when < now_)
+            panic("Simulator::scheduleAt in the past");
+        return queue_.schedule(when, std::forward<F>(cb));
+    }
 
     /** Run until the queue drains. Returns the final time. */
     Seconds run();
@@ -40,6 +58,9 @@ class Simulator
 
     /** Number of events executed so far. */
     std::uint64_t eventsRun() const { return eventsRun_; }
+
+    /** Pre-size the event arena for `n` concurrent events. */
+    void reserveEvents(std::size_t n) { queue_.reserve(n); }
 
   private:
     EventQueue queue_;

@@ -65,9 +65,24 @@ allProcesses()
         replayed.push_back(
             {static_cast<Seconds>(600 - i), static_cast<ModelId>(i % 4)});
 
+    // A layered composite (the fleet-diurnal-surge shape): diurnal
+    // baseline plus MMPP flash crowd over the same model space.
+    DiurnalConfig cdi;
+    cdi.numModels = 16;
+    cdi.duration = 3600.0;
+    cdi.period = 1800.0;
+    cdi.aggregateRpm = 90.0;
+    cdi.amplitude = 0.6;
+    FlashCrowdConfig cfl;
+    cfl.numModels = 16;
+    cfl.duration = 3600.0;
+    cfl.baselineRpm = 45.0;
+    cfl.flashFactor = 8.0;
+
     return {makePoisson(po),    makeDiurnal(di), makeFlashCrowd(fl),
             makeRamp(ra),       makeRamp(st),    makeAzure(az),
-            makeBurstGpt(bg),   makeReplay(replayed, 4, 601.0)};
+            makeBurstGpt(bg),   makeReplay(replayed, 4, 601.0),
+            makeComposite({makeDiurnal(cdi), makeFlashCrowd(cfl)})};
 }
 
 class EveryProcess
