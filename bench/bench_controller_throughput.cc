@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Controller hot-path throughput: the repo's perf-trajectory bench for
+ * the incremental cluster indices (DESIGN.md, "Cluster indices").
+ *
+ * Three measurements, all on a fleet-6400-class cluster (400 + 400
+ * nodes, 6400 7B models) populated by replaying the opening window of
+ * the fleet-6400 Azure workload:
+ *
+ *  1. **placement decisions/sec** — `probePlacement` (candidate
+ *     selection incl. shadow validation, no commitment) driven with an
+ *     identical probe stream through the indexed path (free-capacity
+ *     index lookup + short walk) and the oracle path (the pre-index
+ *     full-cluster best-fit scan). Both run against the same live
+ *     cluster state in the same process, so the ratio is
+ *     host-comparable.
+ *  2. **report aggregates/sec** — the KV-utilization sample +
+ *     scaling-overhead + busy-seconds queries (what the harness
+ *     samples every 2 simulated seconds), indexed running aggregates
+ *     vs the oracle instance-pool walks.
+ *  3. **fleet wall-clock** — the populated window run end-to-end under
+ *     `oracleScans` on/off (recorded, not gated: it mixes in event
+ *     engine and model costs).
+ *
+ * Output: a human table on stdout, optionally
+ *   --json=<file>            freeform trajectory doc (BENCH_*.json)
+ *   --write-baseline=<file>  machine summary for the CI gate
+ *   --compare=<file>         gate the speedup ratios against a
+ *                            baseline via sweep::compare
+ *   --tolerance=<frac>       allowed ratio drop (default 0.60)
+ *   --models=<n> --nodes=<n> --populate=<s> --probes=<n>
+ *   --oracle-probes=<n> --aggregate-iters=<n> --no-ab
+ * Exit code: 0 ok, 1 gate failure, 2 usage error.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/table.hh"
+#include "core/controller.hh"
+#include "harness/experiment.hh"
+#include "metrics/recorder.hh"
+#include "scenario/scenario.hh"
+#include "sweep/compare.hh"
+#include "sweep/summary.hh"
+
+using namespace slinfer;
+
+namespace
+{
+
+double
+wallSeconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** A live fleet: cluster + controller + the opening window of the
+ *  fleet-6400 Azure workload, replayed to `populate` sim-seconds. */
+struct FleetRig
+{
+    FleetRig(int nodesPerKind, int numModels, Seconds windowSeconds,
+             std::uint64_t seed, bool oracle)
+    {
+        ClusterSpec cs;
+        cs.cpuNodes = nodesPerKind;
+        cs.gpuNodes = nodesPerKind;
+        nodes = buildCluster(cs, 1);
+        models = scenario::fleet({{llama2_7b(), numModels}});
+
+        AzureTraceConfig tc;
+        tc.numModels = numModels;
+        tc.duration = windowSeconds;
+        AzureTrace trace = scenario::makeAzure(tc)->generate(seed);
+
+        Dataset dataset(DatasetKind::AzureConv);
+        Rng len_rng = Rng(seed).fork(0x1E46);
+        ControllerConfig cfg;
+        cfg.seed = seed;
+        cfg.oracleScans = oracle;
+
+        requests.reserve(trace.arrivals.size());
+        recorder.reserve(trace.arrivals.size());
+        sim.reserveEvents(trace.arrivals.size() + 1024);
+        RequestId next_id = 1;
+        for (const Arrival &a : trace.arrivals) {
+            const ModelSpec &spec = models[a.model];
+            LengthSample len = dataset.sample(len_rng);
+            Request req;
+            req.id = next_id++;
+            req.model = a.model;
+            req.arrival = a.time;
+            req.inputLen =
+                std::clamp<Tokens>(len.input, 1, spec.maxContext - 64);
+            req.targetOutput = std::clamp<Tokens>(
+                len.output, 1, spec.maxContext - req.inputLen - 1);
+            req.ttftSlo = cfg.slo.ttft(req.inputLen);
+            req.tpotSlo = cfg.slo.tpot;
+            requests.push_back(req);
+        }
+
+        std::vector<double> avg(models.size(), dataset.meanOutput());
+        ctl = std::make_unique<SlinferController>(
+            sim, nodes, models, avg, cfg, recorder, nullptr);
+        for (Request &req : requests) {
+            sim.scheduleAt(req.arrival, [this, &req] {
+                ctl->submit(&req);
+            });
+        }
+    }
+
+    ClusterSpec cluster;
+    Simulator sim;
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::vector<ModelSpec> models;
+    Recorder recorder;
+    std::unique_ptr<SlinferController> ctl;
+    std::vector<Request> requests;
+};
+
+/** The identical probe stream both placement paths consume. */
+Request
+probeRequest(std::uint64_t &lcg, std::size_t i, std::size_t numModels,
+             Seconds now)
+{
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    Request probe;
+    probe.id = 0;
+    probe.model = static_cast<ModelId>(i % numModels);
+    probe.arrival = now;
+    probe.inputLen =
+        static_cast<Tokens>(64 + ((lcg >> 33) & 0x7FF)); // 64..2111
+    probe.targetOutput = 256;
+    probe.ttftSlo =
+        std::min(std::max(0.5, probe.inputLen / 512.0), 8.0);
+    probe.tpotSlo = 0.25;
+    return probe;
+}
+
+struct PlacementRate
+{
+    double perSec = 0.0;
+    /** Full shadow validations per decision (diagnostic: the paths
+     *  must do comparable validation work for the ratio to isolate
+     *  the scan cost). */
+    double shadowPerDecision = 0.0;
+};
+
+PlacementRate
+placementsPerSec(FleetRig &rig, std::size_t count, bool oracle)
+{
+    std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+    std::size_t found = 0;
+    std::uint64_t shadow0 = rig.ctl->shadowEvaluations();
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < count; ++i) {
+        Request probe = probeRequest(lcg, i, rig.models.size(),
+                                     rig.sim.now());
+        auto choice = rig.ctl->probePlacement(probe, oracle);
+        if (choice.part)
+            ++found;
+    }
+    double wall = wallSeconds(t0);
+    // The found count keeps the optimizer honest.
+    logMessage(LogLevel::Debug,
+               "placements found: " + std::to_string(found));
+    PlacementRate r;
+    r.perSec = wall > 0 ? static_cast<double>(count) / wall : 0.0;
+    r.shadowPerDecision =
+        static_cast<double>(rig.ctl->shadowEvaluations() - shadow0) /
+        static_cast<double>(count);
+    return r;
+}
+
+double
+aggregatesPerSec(FleetRig &rig, std::size_t iters, bool oracle)
+{
+    double sink = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+        if (oracle) {
+            sink += rig.ctl->kvUtilizationNowOracle();
+            sink += rig.ctl->scalingOverheadFractionOracle();
+            sink += rig.ctl->totalBusySecondsOracle(HwKind::Cpu);
+            sink += rig.ctl->totalBusySecondsOracle(HwKind::Gpu);
+        } else {
+            sink += rig.ctl->kvUtilizationNow();
+            sink += rig.ctl->clusterIndex().scalingOverheadFraction(
+                rig.sim.now());
+            sink += rig.ctl->totalBusySeconds(HwKind::Cpu);
+            sink += rig.ctl->totalBusySeconds(HwKind::Gpu);
+        }
+    }
+    double wall = wallSeconds(t0);
+    logMessage(LogLevel::Debug, "aggregate sink: " + std::to_string(sink));
+    return wall > 0 ? static_cast<double>(iters) / wall : 0.0;
+}
+
+sweep::MetricSummary
+point(double v)
+{
+    sweep::MetricSummary m;
+    m.n = 1;
+    m.mean = m.p50 = m.p99 = m.ciLo = m.ciHi = v;
+    return m;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << content;
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int nodes_per_kind = 400;
+    int num_models = 6400;
+    // 300 s of the Azure window reaches the scenario's steady-state
+    // live-instance population, which is what the oracle scans pay
+    // for; shorter windows understate their cost.
+    Seconds populate = 300.0;
+    std::size_t probes = 2000;
+    std::size_t oracle_probes = 200;
+    std::size_t aggregate_iters = 2000;
+    bool run_ab = true;
+    std::string json_path;
+    std::string baseline_out;
+    std::string compare_path;
+    double tolerance = 0.60;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg.rfind("--models=", 0) == 0) {
+            num_models = std::atoi(value().c_str());
+        } else if (arg.rfind("--nodes=", 0) == 0) {
+            nodes_per_kind = std::atoi(value().c_str());
+        } else if (arg.rfind("--populate=", 0) == 0) {
+            populate = std::atof(value().c_str());
+        } else if (arg.rfind("--probes=", 0) == 0) {
+            probes = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--oracle-probes=", 0) == 0) {
+            oracle_probes = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--aggregate-iters=", 0) == 0) {
+            aggregate_iters = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--no-ab") {
+            run_ab = false;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = value();
+        } else if (arg.rfind("--write-baseline=", 0) == 0) {
+            baseline_out = value();
+        } else if (arg.rfind("--compare=", 0) == 0) {
+            compare_path = value();
+        } else if (arg.rfind("--tolerance=", 0) == 0) {
+            tolerance = std::atof(value().c_str());
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (nodes_per_kind <= 0 || num_models <= 0 || populate <= 0 ||
+        probes == 0 || oracle_probes == 0 || aggregate_iters == 0) {
+        std::fprintf(stderr, "sizes must be positive\n");
+        return 2;
+    }
+
+    setLogLevel(LogLevel::Warn);
+    const std::uint64_t seed = 5;
+
+    // One live fleet serves both decision paths: identical state, so
+    // the throughput ratio isolates the index against the scans.
+    FleetRig rig(nodes_per_kind, num_models, populate, seed,
+                 /*oracle=*/false);
+    auto t0 = std::chrono::steady_clock::now();
+    rig.sim.runUntil(populate);
+    double populate_wall = wallSeconds(t0);
+
+    PlacementRate place_indexed_r = placementsPerSec(rig, probes, false);
+    PlacementRate place_oracle_r =
+        placementsPerSec(rig, oracle_probes, true);
+    double place_indexed = place_indexed_r.perSec;
+    double place_oracle = place_oracle_r.perSec;
+    double place_speedup =
+        place_oracle > 0 ? place_indexed / place_oracle : 0.0;
+
+    double agg_indexed = aggregatesPerSec(rig, aggregate_iters, false);
+    double agg_oracle =
+        aggregatesPerSec(rig, std::max<std::size_t>(aggregate_iters / 10,
+                                                    1),
+                         true);
+    double agg_speedup = agg_oracle > 0 ? agg_indexed / agg_oracle : 0.0;
+
+    // End-to-end wall of the same window under oracleScans (fresh rigs
+    // so both replay identical workloads from a cold start).
+    double ab_indexed = 0.0, ab_oracle = 0.0, ab_speedup = 0.0;
+    if (run_ab) {
+        FleetRig ab1(nodes_per_kind, num_models, populate, seed, false);
+        t0 = std::chrono::steady_clock::now();
+        ab1.sim.runUntil(populate);
+        ab_indexed = wallSeconds(t0);
+        FleetRig ab2(nodes_per_kind, num_models, populate, seed, true);
+        t0 = std::chrono::steady_clock::now();
+        ab2.sim.runUntil(populate);
+        ab_oracle = wallSeconds(t0);
+        ab_speedup = ab_indexed > 0 ? ab_oracle / ab_indexed : 0.0;
+    }
+
+    Table t({"metric", "value"});
+    t.addRow({"fleet", std::to_string(num_models) + " models / " +
+                           std::to_string(2 * nodes_per_kind) + " nodes"});
+    t.addRow({"populate wall (s)", Table::num(populate_wall, 2)});
+    t.addRow({"placements/sec (indexed)", Table::num(place_indexed, 0)});
+    t.addRow({"placements/sec (oracle)", Table::num(place_oracle, 0)});
+    t.addRow({"placement speedup", Table::num(place_speedup, 2) + "x"});
+    t.addRow({"shadow sims/decision (idx/orc)",
+              Table::num(place_indexed_r.shadowPerDecision, 2) + " / " +
+                  Table::num(place_oracle_r.shadowPerDecision, 2)});
+    t.addRow({"aggregates/sec (indexed)", Table::num(agg_indexed, 0)});
+    t.addRow({"aggregates/sec (oracle)", Table::num(agg_oracle, 0)});
+    t.addRow({"aggregate speedup", Table::num(agg_speedup, 2) + "x"});
+    if (run_ab) {
+        t.addRow({"window wall indexed (s)", Table::num(ab_indexed, 2)});
+        t.addRow({"window wall oracle (s)", Table::num(ab_oracle, 2)});
+        t.addRow({"window speedup", Table::num(ab_speedup, 2) + "x"});
+    }
+    std::printf("controller hot-path throughput (fleet-%d window %.0fs)\n",
+                num_models, populate);
+    t.print();
+
+    sweep::SummaryRow row;
+    row.scenario = "controller-throughput";
+    row.system = "bench";
+    row.replicates = 1;
+    row.duration = 0.0;
+    row.metrics = {
+        {"placements_per_sec", point(place_indexed)},
+        {"placements_per_sec_oracle", point(place_oracle)},
+        {"placement_speedup_vs_oracle", point(place_speedup)},
+        {"aggregates_per_sec", point(agg_indexed)},
+        {"aggregates_per_sec_oracle", point(agg_oracle)},
+        {"aggregate_speedup_vs_oracle", point(agg_speedup)},
+        {"window_speedup_vs_oracle", point(ab_speedup)},
+    };
+    std::vector<sweep::SummaryRow> rows = {row};
+
+    if (!json_path.empty()) {
+        char buf[2048];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n"
+            "  \"bench\": \"controller_throughput\",\n"
+            "  \"description\": \"Controller decision hot path on a "
+            "%d-model / %d-node fleet populated with %.0f s of the "
+            "Azure workload: placement candidate selection and report "
+            "aggregates through the incremental cluster indices vs "
+            "the pre-index oracle scans, plus the window's end-to-end "
+            "wall-clock under both modes. Regenerate with: "
+            "./build/bench/bench_controller_throughput "
+            "--json=BENCH_controller_throughput.json\",\n"
+            "  \"placements_per_sec\": %.0f,\n"
+            "  \"placements_per_sec_oracle\": %.0f,\n"
+            "  \"placement_speedup_vs_oracle\": %.2f,\n"
+            "  \"aggregates_per_sec\": %.0f,\n"
+            "  \"aggregates_per_sec_oracle\": %.0f,\n"
+            "  \"aggregate_speedup_vs_oracle\": %.2f,\n"
+            "  \"window_wall_indexed_s\": %.2f,\n"
+            "  \"window_wall_oracle_s\": %.2f,\n"
+            "  \"window_speedup_vs_oracle\": %.2f\n"
+            "}\n",
+            num_models, 2 * nodes_per_kind, populate, place_indexed,
+            place_oracle, place_speedup, agg_indexed, agg_oracle,
+            agg_speedup, ab_indexed, ab_oracle, ab_speedup);
+        if (!writeFile(json_path, buf))
+            fatal("cannot write " + json_path);
+    }
+
+    if (!baseline_out.empty()) {
+        if (!writeFile(baseline_out, sweep::summaryToJson(rows)))
+            fatal("cannot write " + baseline_out);
+        std::printf("baseline written to %s\n", baseline_out.c_str());
+    }
+
+    if (!compare_path.empty()) {
+        std::ifstream in(compare_path);
+        if (!in)
+            fatal("cannot read " + compare_path);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        std::vector<sweep::SummaryRow> base;
+        std::string err;
+        if (!sweep::summaryFromJson(text, base, &err))
+            fatal("bad baseline " + compare_path + ": " + err);
+        sweep::CompareOptions opts;
+        opts.tolerance = tolerance;
+        // Gate ONLY the indexed/oracle speedup ratios: both paths run
+        // against the same cluster state in the same process, so the
+        // ratio is host-comparable, while absolute decisions/sec
+        // depend on the host the baseline was recorded on.
+        opts.metrics = {
+            {"placement_speedup_vs_oracle", true, 0.5},
+            {"aggregate_speedup_vs_oracle", true, 0.5},
+        };
+        sweep::CompareResult res = sweep::compare(rows, base, opts);
+        std::fputs(res.table.c_str(), stdout);
+        if (!res.pass)
+            return 1;
+    }
+    return 0;
+}

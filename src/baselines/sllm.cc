@@ -234,7 +234,7 @@ SllmController::tryDispatchDecode(Request *req)
     if (!inst)
         return false;
     if (!admitToDecode(req, inst))
-        pendingDecode_.push_back(req);
+        queueDecode(req);
     return true;
 }
 

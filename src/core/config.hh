@@ -34,6 +34,15 @@ struct ControllerConfig
     bool enableConsolidation = true;
     /** Prefill-decode disaggregation mode (Table III). */
     bool pdDisaggregation = false;
+    /**
+     * Route placement/aggregate decisions through the pre-index full
+     * cluster scans instead of the incremental cluster indices
+     * (DESIGN.md, "Cluster indices"). Decision *results* are
+     * identical either way — the flag exists so
+     * bench_controller_throughput can A/B the two paths and tests can
+     * cross-check them; the indices are maintained in both modes.
+     */
+    bool oracleScans = false;
     /** SLO definition. */
     SloSpec slo;
     /** Seed for ground-truth execution noise. */

@@ -19,7 +19,7 @@ ControllerBase::ControllerBase(Simulator &sim,
                                ControllerConfig cfg, Recorder &recorder,
                                ClusterStats *stats)
     : sim_(sim), nodes_(nodes), cfg_(cfg), recorder_(recorder),
-      stats_(stats), rng_(cfg.seed)
+      stats_(stats), rng_(cfg.seed), index_(nodes)
 {
     models_.reserve(modelSpecs.size());
     for (std::size_t i = 0; i < modelSpecs.size(); ++i) {
@@ -29,6 +29,9 @@ ControllerBase::ControllerBase(Simulator &sim,
                                                   : 256.0;
         models_.push_back(std::move(e));
     }
+    pendingDecode_.resize(models_.size());
+    decodeDirty_.assign(models_.size(), 0);
+    scheds_.resize(index_.partitions(true).size());
 }
 
 void
@@ -56,9 +59,9 @@ ControllerBase::onRequestDoneHook(Request *req, Instance *inst)
 TokenScheduler &
 ControllerBase::schedulerFor(Partition *part)
 {
-    auto it = scheds_.find(part);
-    if (it != scheds_.end())
-        return *it->second;
+    std::unique_ptr<TokenScheduler> &slot = scheds_[part->viewPos];
+    if (slot)
+        return *slot;
 
     TokenScheduler::Callbacks cbs;
     cbs.onRequestDone = [this](Request *r, Instance *i) {
@@ -68,13 +71,11 @@ ControllerBase::schedulerFor(Partition *part)
         return takeAfterPrefill(r, i);
     };
     cbs.onKvShortage = [this](Instance *i) { handleKvShortage(i); };
-    auto sched = std::make_unique<TokenScheduler>(
+    slot = std::make_unique<TokenScheduler>(
         sim_, *part, schedPolicy(), cfg_.noiseSigma,
         rng_.fork(0x5C4ED + part->node * 16 + part->index), std::move(cbs),
-        stats_);
-    auto *ptr = sched.get();
-    scheds_[part] = std::move(sched);
-    return *ptr;
+        stats_, &index_);
+    return *slot;
 }
 
 void
@@ -102,6 +103,7 @@ ControllerBase::makeInstance(ModelId model, Partition *primary,
     ++instancesCreated_;
 
     primary->instances.push_back(ptr);
+    index_.onInstanceAdded(*ptr);
     for (Partition *p : ptr->extraHolds) {
         p->exclusiveHolder = ptr;
         if (!p->mem.tryHold(p->mem.capacity() - p->mem.used()))
@@ -128,6 +130,8 @@ ControllerBase::startStaticLoad(Instance *inst)
     sim_.schedule(inst->loadDuration, [this, inst] {
         inst->state = InstanceState::Active;
         inst->activeAt = sim_.now();
+        index_.onInstanceActivated(*inst);
+        markAllDecodeDirty();
         kickPartition(inst->primary);
         retryPending();
     });
@@ -136,15 +140,21 @@ ControllerBase::startStaticLoad(Instance *inst)
 void
 ControllerBase::unloadStatic(Instance *inst)
 {
+    index_.onInstanceUnloading(*inst);
+    if (inst->state == InstanceState::Active)
+        index_.onInstanceDeactivated(*inst);
     inst->state = InstanceState::Unloading;
+    markAllDecodeDirty();
     sim_.schedule(
         MemCostModel::weightUnloadTime(inst->primary->spec, inst->model),
         [this, inst] {
             inst->state = InstanceState::Reclaimed;
             inst->reclaimedAt = sim_.now();
+            index_.onInstanceReclaimed(*inst);
             inst->primary->mem.release(inst->heldPrimaryBytes);
             inst->heldPrimaryBytes = 0;
             unregisterInstance(inst);
+            markAllDecodeDirty();
             retryPending();
         });
 }
@@ -242,6 +252,30 @@ ControllerBase::queueRequest(Request *req)
 }
 
 void
+ControllerBase::queueDecode(Request *req)
+{
+    pendingDecode_[req->model].push_back({decodeSeq_++, req});
+    ++decodePendingCount_;
+    decodeDirty_[req->model] = 1;
+}
+
+void
+ControllerBase::markDecodeDirty(ModelId model)
+{
+    if (decodePendingCount_ == 0)
+        return;
+    decodeDirty_[model] = 1;
+}
+
+void
+ControllerBase::markAllDecodeDirty()
+{
+    if (decodePendingCount_ == 0)
+        return;
+    std::fill(decodeDirty_.begin(), decodeDirty_.end(), char(1));
+}
+
+void
 ControllerBase::retryPending()
 {
     if (inRetry_) {
@@ -254,44 +288,85 @@ ControllerBase::retryPending()
         // Cap the failed-dispatch work per retry round: under deep
         // saturation re-validating the entire queue on every event is
         // quadratic for no benefit (stuck heads drop at their TTFT
-        // deadline soon anyway).
+        // deadline soon anyway). Unlike the pre-index code, the drain
+        // stops at the cap instead of cycling the whole deque through
+        // a scratch copy — entries behind the cap are left untouched
+        // (admitted/dropped ghosts among them are purged whenever a
+        // later round reaches them), so a deep backlog costs the
+        // failures actually attempted, not O(queue) churn per event.
         const int kMaxFailures = 16;
         int failures = 0;
-        std::deque<Request *> still;
-        while (!pending_.empty()) {
+        retryStill_.clear();
+        while (!pending_.empty() && failures < kMaxFailures) {
             Request *req = pending_.front();
             pending_.pop_front();
             if (req->state != RequestState::Queued)
                 continue; // dropped or already admitted elsewhere
-            if (failures >= kMaxFailures) {
-                still.push_back(req);
-                continue;
-            }
             if (!tryDispatch(req)) {
-                still.push_back(req);
+                retryStill_.push_back(req);
                 ++failures;
             }
         }
-        // Preserve arrival order for the survivors, ahead of anything
-        // queued while we were dispatching.
-        for (auto it = still.rbegin(); it != still.rend(); ++it)
-            pending_.push_front(*it);
-
-        std::deque<Request *> still_decode;
-        while (!pendingDecode_.empty()) {
-            Request *req = pendingDecode_.front();
-            pendingDecode_.pop_front();
-            if (req->state != RequestState::Transfer)
-                continue;
-            if (!tryDispatchDecode(req))
-                still_decode.push_back(req);
-        }
-        for (auto it = still_decode.rbegin(); it != still_decode.rend();
+        // Preserve arrival order for the survivors, ahead of the
+        // untouched tail and anything queued while we were
+        // dispatching.
+        for (auto it = retryStill_.rbegin(); it != retryStill_.rend();
              ++it) {
-            pendingDecode_.push_front(*it);
+            pending_.push_front(*it);
         }
+
+        retryDecodePending();
     } while (retryAgain_);
     inRetry_ = false;
+}
+
+void
+ControllerBase::retryDecodePending()
+{
+    if (decodePendingCount_ == 0)
+        return;
+    if (cfg_.oracleScans) {
+        // Oracle behavior: re-validate every queue on every round.
+        std::fill(decodeDirty_.begin(), decodeDirty_.end(), char(1));
+    }
+    // Collect the dirty models' entries and replay them in global
+    // arrival order. Clean queues are skipped entirely: decode
+    // admission has no deadline term, so an entry that failed stays
+    // failed until some relevant state changes — and every such
+    // change marks the affected queues dirty.
+    decodeRound_.clear();
+    for (std::size_t m = 0; m < pendingDecode_.size(); ++m) {
+        if (!decodeDirty_[m] || pendingDecode_[m].empty())
+            continue;
+        for (auto &e : pendingDecode_[m])
+            decodeRound_.push_back(e);
+        pendingDecode_[m].clear();
+    }
+    // Clear the dirty set before dispatching so wakeups raised by the
+    // dispatches themselves (new entries, admissions) survive the
+    // round.
+    std::fill(decodeDirty_.begin(), decodeDirty_.end(), char(0));
+    if (decodeRound_.empty())
+        return;
+    std::sort(decodeRound_.begin(), decodeRound_.end());
+    bool admitted = false;
+    for (auto &entry : decodeRound_) {
+        Request *req = entry.second;
+        if (req->state != RequestState::Transfer) {
+            --decodePendingCount_;
+            continue;
+        }
+        if (tryDispatchDecode(req)) {
+            --decodePendingCount_;
+            admitted = true;
+        } else {
+            pendingDecode_[req->model].push_back(entry);
+        }
+    }
+    // An admission mutated cluster state (batches, budgets), which can
+    // unblock entries that failed earlier in this round.
+    if (admitted)
+        markAllDecodeDirty();
 }
 
 void
@@ -303,6 +378,15 @@ ControllerBase::requestDone(Request *req, Instance *inst)
     me.avgOutput = 0.85 * me.avgOutput +
                    0.15 * static_cast<double>(req->generated);
     onRequestDoneHook(req, inst);
+    // Shortage-driven wakeup: the completion freed a batch slot and KV
+    // on `inst` and shrank its partition's aggregate decode load, so
+    // only this model's decode queue and those of its partition
+    // neighbors can newly admit.
+    if (decodePendingCount_ > 0) {
+        markDecodeDirty(req->model);
+        for (const Instance *other : inst->primary->instances)
+            markDecodeDirty(other->modelId);
+    }
     if (inst->loadSize() == 0 && inst->state == InstanceState::Active)
         scheduleKeepAlive(inst);
     retryPending();
@@ -330,6 +414,7 @@ ControllerBase::evictLongestHeadroom(Instance *inst)
     ++victim->migrations;
     ++evictions_;
     queueRequest(victim);
+    markAllDecodeDirty();
     retryPending();
 }
 
@@ -348,15 +433,16 @@ ControllerBase::takeAfterPrefill(Request *req, Instance *inst)
                      inst->model.kvBytesPerToken();
     if (inst->loadSize() == 0 && inst->state == InstanceState::Active)
         scheduleKeepAlive(inst);
+    markAllDecodeDirty();
     sim_.schedule(MemCostModel::kvMigrationTime(kv_bytes), [this, req] {
         if (!tryDispatchDecode(req))
-            pendingDecode_.push_back(req);
+            queueDecode(req);
     });
     return true;
 }
 
 std::vector<Partition *>
-ControllerBase::allPartitions(bool cpuFirst) const
+ControllerBase::allPartitionsOracle(bool cpuFirst) const
 {
     std::vector<Partition *> cpu, gpu;
     for (const auto &node : nodes_) {
@@ -373,6 +459,19 @@ ControllerBase::allPartitions(bool cpuFirst) const
 
 double
 ControllerBase::scalingOverheadFraction() const
+{
+    // Always the exact pool scan: this figure lands verbatim in every
+    // report, and the running aggregate accumulates in event order,
+    // whose last-ulp rounding can differ from the pool-order sum the
+    // reports have always carried. The scan runs once per experiment;
+    // policy/bench-time consumers needing O(1) read
+    // clusterIndex().scalingOverheadFraction(now) instead (the fuzz
+    // test keeps the two within 1e-9 of each other).
+    return scalingOverheadFractionOracle();
+}
+
+double
+ControllerBase::scalingOverheadFractionOracle() const
 {
     double scaling = 0.0;
     double uptime = 0.0;
@@ -392,6 +491,14 @@ ControllerBase::scalingOverheadFraction() const
 double
 ControllerBase::totalBusySeconds(HwKind kind) const
 {
+    if (cfg_.oracleScans)
+        return totalBusySecondsOracle(kind);
+    return index_.busySeconds(kind);
+}
+
+double
+ControllerBase::totalBusySecondsOracle(HwKind kind) const
+{
     double total = 0.0;
     for (const auto &inst : instancePool_) {
         if (inst->execSpec.kind == kind)
@@ -402,6 +509,14 @@ ControllerBase::totalBusySeconds(HwKind kind) const
 
 double
 ControllerBase::kvUtilizationNow() const
+{
+    if (cfg_.oracleScans)
+        return kvUtilizationNowOracle();
+    return index_.kvUtilizationNow();
+}
+
+double
+ControllerBase::kvUtilizationNowOracle() const
 {
     double sum = 0.0;
     std::size_t n = 0;
@@ -427,6 +542,7 @@ SlinferController::SlinferController(
                      std::move(initialAvgOutput), cfg, recorder, stats),
       shadow_(quant_, ShadowConfig{cfg.overestimate, cfg.slo.tpot, 500})
 {
+    mem_.resize(index_.partitions(true).size());
     // Offline profiling: every (hardware type, model) pair the cluster
     // could combine (§VI-B). Partition specs share their node's name
     // only when identical, so profile per concrete spec.
@@ -459,30 +575,25 @@ SlinferController::schedPolicy() const
 MemorySubsystem &
 SlinferController::subsystemFor(Partition *part)
 {
-    auto it = mem_.find(part);
-    if (it != mem_.end())
-        return *it->second;
-    auto sub = std::make_unique<MemorySubsystem>(
-        sim_, *part, cfg_.watermark, [this, part] {
+    std::unique_ptr<MemorySubsystem> &slot = mem_[part->viewPos];
+    if (slot)
+        return *slot;
+    slot = std::make_unique<MemorySubsystem>(
+        sim_, *part, cfg_.watermark,
+        [this, part] {
+            markAllDecodeDirty();
             kickPartition(part);
             retryPending();
-        });
-    auto *ptr = sub.get();
-    mem_[part] = std::move(sub);
-    return *ptr;
+        },
+        &index_, cfg_.oracleScans);
+    return *slot;
 }
 
 bool
 SlinferController::cpuFeasible(const ModelSpec &spec,
                                const Request &req) const
 {
-    const HardwareSpec *cpu = nullptr;
-    for (const auto &node : nodes_) {
-        if (node->isCpu()) {
-            cpu = &node->partitions().front()->spec;
-            break;
-        }
-    }
+    const HardwareSpec *cpu = index_.cpuSpec();
     if (!cpu || !cpu->hasMatrixAccel)
         return false;
     if (!quant_.profiled(*cpu, spec))
@@ -506,13 +617,7 @@ SlinferController::exclusiveOnly(const ModelSpec &spec) const
         return true;
     // A model whose weights leave less than one max-context KV slot on
     // the largest GPU partition cannot be shared meaningfully.
-    Bytes gpu_cap = 0;
-    for (const auto &node : nodes_) {
-        if (!node->isCpu()) {
-            gpu_cap = node->partitions().front()->mem.capacity();
-            break;
-        }
-    }
+    Bytes gpu_cap = index_.gpuPartitionCapacity();
     if (gpu_cap == 0)
         return false;
     Bytes min_kv = static_cast<Bytes>(spec.maxContext) *
@@ -587,30 +692,98 @@ SlinferController::tryExistingInstances(Request *req)
     return false;
 }
 
-bool
-SlinferController::tryNewInstance(Request *req)
+SlinferController::PlacementDemand
+SlinferController::placementDemand(const Request &req) const
 {
-    ModelEntry &me = models_[req->model];
-    if (exclusiveOnly(me.spec))
-        return tryExclusivePlacement(req);
+    const ModelEntry &me = models_[req.model];
+    PlacementDemand d;
+    d.cpuOk = cfg_.useCpu && cpuFeasible(me.spec, req);
+    d.weights = me.spec.weightBytes();
+    d.require = static_cast<Bytes>(std::max(
+                    static_cast<double>(req.inputLen) + me.avgOutput,
+                    static_cast<double>(me.spec.maxContext))) *
+                me.spec.kvBytesPerToken();
+    d.recommend = static_cast<Bytes>(static_cast<double>(d.require) *
+                                     (1.0 + cfg_.watermark));
+    return d;
+}
 
-    bool cpu_ok = cfg_.useCpu && cpuFeasible(me.spec, *req);
-    Bytes weights = me.spec.weightBytes();
-    Bytes require = static_cast<Bytes>(std::max(
-                        static_cast<double>(req->inputLen) + me.avgOutput,
-                        static_cast<double>(me.spec.maxContext))) *
-                    me.spec.kvBytesPerToken();
-    Bytes recommend = static_cast<Bytes>(
-        static_cast<double>(require) * (1.0 + cfg_.watermark));
+bool
+SlinferController::placementCandidateOk(Partition *p, const Request &req,
+                                        const PlacementDemand &d,
+                                        Bytes &kvInit)
+{
+    const ModelSpec &spec = models_[req.model].spec;
+    if (p->spec.kind == HwKind::Cpu && !d.cpuOk)
+        return false;
+    if (!p->openForPlacement())
+        return false;
+    if (!cfg_.enableSharing && !p->instances.empty())
+        return false;
+    MemorySubsystem &sub = subsystemFor(p);
+    if (sub.canPlaceIndexed(d.weights, d.recommend))
+        kvInit = d.recommend;
+    else if (sub.canPlaceIndexed(d.weights, d.require))
+        kvInit = d.require; // compromise (§VII-D)
+    else
+        return false;
+    Seconds ready = sim_.now() + Loader::loadTime(p->spec, spec);
+    return shadow_.canAdmitNew(*p, spec, p->spec, req, sim_.now(),
+                               partBusyUntil(p), ready);
+}
 
-    // Bin-packing: among feasible partitions pick the one whose free
-    // optimistic budget is smallest but sufficient (best fit).
+/**
+ * Indexed candidate selection. The free-capacity index orders each
+ * hardware kind's partitions by (free optimistic bytes, view
+ * position); walking ascending from the first possibly-sufficient
+ * key and returning the first candidate that passes eligibility +
+ * shadow validation selects exactly the partition the oracle's
+ * best-fit scan would: the oracle keeps the minimum (free, id-order)
+ * among shadow-passing candidates, which is the first passing element
+ * of this walk (shadow validation is pure, so evaluating candidates
+ * in a different order cannot change any verdict).
+ */
+SlinferController::PlacementChoice
+SlinferController::selectPlacement(const Request &req,
+                                   const PlacementDemand &d)
+{
+    auto tryKind = [&](HwKind kind) -> PlacementChoice {
+        const auto &fs = index_.freeSet(kind);
+        // Eligibility needs free >= weights + require + reserve; the
+        // reserve term varies with partition capacity, so start at the
+        // necessary bound and let canPlace reject the stragglers.
+        ClusterIndex::FreeKey from{d.weights + d.require, 0};
+        for (auto it = fs.lower_bound(from); it != fs.end(); ++it) {
+            Partition *p = index_.partitionAt(it->second);
+            Bytes kv_init = 0;
+            if (placementCandidateOk(p, req, d, kv_init))
+                return {p, kv_init};
+        }
+        return {};
+    };
+    if (d.cpuOk) {
+        // CPU strictly preferred over GPU (§V).
+        PlacementChoice c = tryKind(HwKind::Cpu);
+        if (c.part)
+            return c;
+    }
+    return tryKind(HwKind::Gpu);
+}
+
+/** The pre-index full scan: best fit over every partition, CPU
+ *  strictly preferred, shadow-checked whenever a candidate improves
+ *  on the current best. */
+SlinferController::PlacementChoice
+SlinferController::selectPlacementOracle(const Request &req,
+                                         const PlacementDemand &d)
+{
+    const ModelSpec &spec = models_[req.model].spec;
     Partition *best = nullptr;
     Bytes best_free = std::numeric_limits<Bytes>::max();
     Bytes best_kv = 0;
-    for (Partition *p : allPartitions(cpu_ok)) {
+    for (Partition *p : allPartitionsOracle(d.cpuOk)) {
         bool is_cpu = p->spec.kind == HwKind::Cpu;
-        if (is_cpu && !cpu_ok)
+        if (is_cpu && !d.cpuOk)
             continue;
         if (!p->openForPlacement())
             continue;
@@ -618,13 +791,13 @@ SlinferController::tryNewInstance(Request *req)
             continue;
         MemorySubsystem &sub = subsystemFor(p);
         Bytes kv_init = 0;
-        if (sub.canPlace(weights, recommend))
-            kv_init = recommend;
-        else if (sub.canPlace(weights, require))
-            kv_init = require; // compromise (§VII-D)
+        if (sub.canPlaceScan(d.weights, d.recommend))
+            kv_init = d.recommend;
+        else if (sub.canPlaceScan(d.weights, d.require))
+            kv_init = d.require; // compromise (§VII-D)
         else
             continue;
-        Bytes committed = sub.committed();
+        Bytes committed = sub.committedScan();
         Bytes free = p->mem.capacity() - committed;
         // Prefer CPU over GPU strictly; then best fit.
         bool better;
@@ -634,22 +807,45 @@ SlinferController::tryNewInstance(Request *req)
             better = free < best_free;
         if (!better && best)
             continue;
-        Seconds ready =
-            sim_.now() + Loader::loadTime(p->spec, me.spec);
-        if (!shadow_.canAdmitNew(*p, me.spec, p->spec, *req, sim_.now(),
+        Seconds ready = sim_.now() + Loader::loadTime(p->spec, spec);
+        if (!shadow_.canAdmitNew(*p, spec, p->spec, req, sim_.now(),
                                  partBusyUntil(p), ready))
             continue;
         best = p;
         best_free = free;
         best_kv = kv_init;
     }
-    if (!best) {
+    return {best, best_kv};
+}
+
+SlinferController::PlacementChoice
+SlinferController::probePlacement(const Request &req, bool oracle)
+{
+    PlacementDemand d = placementDemand(req);
+    return oracle ? selectPlacementOracle(req, d)
+                  : selectPlacement(req, d);
+}
+
+bool
+SlinferController::tryNewInstance(Request *req)
+{
+    ModelEntry &me = models_[req->model];
+    if (exclusiveOnly(me.spec))
+        return tryExclusivePlacement(req);
+
+    PlacementDemand d = placementDemand(*req);
+    PlacementChoice choice = cfg_.oracleScans
+                                 ? selectPlacementOracle(*req, d)
+                                 : selectPlacement(*req, d);
+    if (!choice.part) {
         ++dispatchStats_.rejectNoPlacement;
         return false;
     }
     ++dispatchStats_.admitNew;
 
-    Instance *inst = makeInstance(req->model, best, best->spec, best_kv,
+    Partition *best = choice.part;
+    Instance *inst = makeInstance(req->model, best, best->spec,
+                                  choice.kvInit,
                                   cfg_.pdDisaggregation
                                       ? InstanceRole::PrefillOnly
                                       : InstanceRole::Unified,
@@ -827,7 +1023,7 @@ SlinferController::tryDispatchDecode(Request *req)
         // Joins the batch once the load completes and KV is resident.
         if (admitToDecode(req, inst))
             return true;
-        pendingDecode_.push_back(req);
+        queueDecode(req);
         return true;
     }
     return false;
@@ -875,6 +1071,7 @@ SlinferController::doUnload(Instance *inst)
         unloadStatic(inst);
         return;
     }
+    markAllDecodeDirty();
     subsystemFor(inst->primary).beginUnload(*inst, [this, inst] {
         unregisterInstance(inst);
         retryPending();
@@ -886,16 +1083,20 @@ SlinferController::onRequestDoneHook(Request *req, Instance *inst)
 {
     if (inst->staticKv || inst->state != InstanceState::Active)
         return;
-    subsystemFor(inst->primary)
-        .onRequestComplete(*inst, models_[req->model].avgOutput);
+    if (subsystemFor(inst->primary)
+            .onRequestComplete(*inst, models_[req->model].avgOutput)) {
+        // A lazy scale-down lowered the partition's optimistic budget,
+        // which can unblock any model's decode placement there.
+        markAllDecodeDirty();
+    }
 }
 
 std::size_t
 SlinferController::parkedOpsNow() const
 {
     std::size_t n = 0;
-    for (const auto &kv : mem_)
-        n += kv.second->parkedOps();
+    for (const auto &sub : mem_)
+        n += sub ? sub->parkedOps() : 0;
     return n;
 }
 
@@ -903,8 +1104,8 @@ std::uint64_t
 SlinferController::resizeOps() const
 {
     std::uint64_t n = 0;
-    for (const auto &kv : mem_)
-        n += kv.second->resizeOps();
+    for (const auto &sub : mem_)
+        n += sub ? sub->resizeOps() : 0;
     return n;
 }
 

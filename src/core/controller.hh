@@ -7,7 +7,12 @@
  * loader, keep-alive reclamation), per-partition token schedulers,
  * pending-request queues with proactive TTFT drops, request completion
  * accounting, eviction, and the optional prefill-decode disaggregation
- * plumbing (Table III).
+ * plumbing (Table III). It also owns the incrementally maintained
+ * cluster indices (core/cluster_index.hh) that keep placement and
+ * report/policy queries off the scan-per-decision path; the pre-index
+ * scans survive as the `*Oracle` methods for cross-checking and
+ * benchmarking (ControllerConfig::oracleScans routes decisions through
+ * them).
  *
  * SlinferController implements the paper's scheme: CPU-first routing
  * with profile-based fallback, shadow-validated admission, the
@@ -24,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cluster_index.hh"
 #include "core/config.hh"
 #include "core/memory_subsystem.hh"
 #include "core/quantifier.hh"
@@ -69,6 +75,15 @@ class ControllerBase
     std::size_t evictions() const { return evictions_; }
     std::size_t preemptions() const { return preemptions_; }
 
+    /** The incremental cluster indices (tests / benches). */
+    const ClusterIndex &clusterIndex() const { return index_; }
+    /** Stable-storage instance pool (oracle audits in tests). */
+    const std::vector<std::unique_ptr<Instance>> &
+    instancePool() const
+    {
+        return instancePool_;
+    }
+
     /** Where dispatch attempts land (observability / tests). */
     struct DispatchStats
     {
@@ -81,16 +96,24 @@ class ControllerBase
     };
     const DispatchStats &dispatchStats() const { return dispatchStats_; }
 
-    /** Total iteration-execution seconds on nodes of `kind` (tests). */
+    /** Total iteration-execution seconds on nodes of `kind` (tests).
+     *  O(1) running aggregate; the oracle variant walks the pool. */
     double totalBusySeconds(HwKind kind) const;
+    double totalBusySecondsOracle(HwKind kind) const;
 
     /** Fraction of total instance uptime spent blocked on KV resizes
-     *  (Fig. 31), across all instances ever created. */
+     *  (Fig. 31), across all instances ever created. Exact pool scan
+     *  (a report field — byte-stability trumps O(1) for a
+     *  once-per-run query); clusterIndex().scalingOverheadFraction()
+     *  is the O(1) running-aggregate form. */
     double scalingOverheadFraction() const;
+    double scalingOverheadFractionOracle() const;
 
     /** Mean KV allocation utilization across live instances, sampled
-     *  now (Fig. 31). */
+     *  now (Fig. 31). O(live) over the id-ordered active registry —
+     *  bit-identical to the oracle's pool walk. */
     double kvUtilizationNow() const;
+    double kvUtilizationNowOracle() const;
 
   protected:
     /** Dispatch a fresh (or re-queued) request; false leaves it queued. */
@@ -136,8 +159,26 @@ class ControllerBase
     void evictLongestHeadroom(Instance *inst);
     bool takeAfterPrefill(Request *req, Instance *inst);
 
-    /** All partitions, CPU nodes first then GPU, in id order. */
-    std::vector<Partition *> allPartitions(bool cpuFirst) const;
+    // --- per-model decode pending queues (PD mode) ------------------
+    /** Park a prefilled request until a decode slot frees up. */
+    void queueDecode(Request *req);
+    /** A decode-capacity event touched this model (and, through
+     *  partition colocation, its neighbors): re-validate its queue at
+     *  the next retry round. */
+    void markDecodeDirty(ModelId model);
+    /** A cluster-wide event (memory release, load/unload, eviction):
+     *  re-validate every model's decode queue. */
+    void markAllDecodeDirty();
+
+    /** All partitions, CPU nodes first then GPU, in id order — the
+     *  index's cached view. The oracle variant materializes fresh
+     *  vectors per call, as the pre-index code did. */
+    const std::vector<Partition *> &
+    allPartitions(bool cpuFirst) const
+    {
+        return index_.partitions(cpuFirst);
+    }
+    std::vector<Partition *> allPartitionsOracle(bool cpuFirst) const;
 
     Simulator &sim_;
     std::vector<std::unique_ptr<Node>> &nodes_;
@@ -146,15 +187,29 @@ class ControllerBase
     Recorder &recorder_;
     ClusterStats *stats_;
     Rng rng_;
+    ClusterIndex index_;
 
     /** Stable storage: instances are never destroyed mid-run so that
      *  in-flight events can safely reference them. */
     std::vector<std::unique_ptr<Instance>> instancePool_;
-    std::map<Partition *, std::unique_ptr<TokenScheduler>> scheds_;
+    /** Per-partition token schedulers, indexed by Partition::viewPos
+     *  (O(1) on the dispatch hot path; created lazily). */
+    std::vector<std::unique_ptr<TokenScheduler>> scheds_;
 
     std::deque<Request *> pending_;
-    std::deque<Request *> pendingDecode_; ///< PD mode
     std::map<RequestId, EventHandle> dropEvents_;
+
+    /** PD mode: prefilled requests awaiting a decode slot, bucketed
+     *  per model with global arrival sequence numbers; only models in
+     *  the dirty set are re-validated per retry round (decode
+     *  admission is deadline-free, so a queue whose relevant state
+     *  did not change since its last failure cannot newly pass —
+     *  see DESIGN.md, "Cluster indices"). */
+    std::vector<std::deque<std::pair<std::uint64_t, Request *>>>
+        pendingDecode_;
+    std::vector<char> decodeDirty_;
+    std::uint64_t decodeSeq_ = 0;
+    std::size_t decodePendingCount_ = 0;
 
     std::size_t instancesCreated_ = 0;
     std::size_t evictions_ = 0;
@@ -162,8 +217,14 @@ class ControllerBase
     DispatchStats dispatchStats_;
 
   private:
+    void retryDecodePending();
+
     bool inRetry_ = false;
     bool retryAgain_ = false;
+    /** Retry-round scratch, recycled across rounds (retryPending is
+     *  reentrancy-guarded, so one live round owns them). */
+    std::vector<Request *> retryStill_;
+    std::vector<std::pair<std::uint64_t, Request *>> decodeRound_;
 };
 
 /**
@@ -188,6 +249,31 @@ class SlinferController : public ControllerBase
     /** Total resize operations issued (Fig. 31). */
     std::uint64_t resizeOps() const;
 
+    /** A shared-placement candidate for a new instance. */
+    struct PlacementChoice
+    {
+        Partition *part = nullptr;
+        Bytes kvInit = 0;
+    };
+
+    /**
+     * Candidate selection for placing a new instance of `req`'s model,
+     * with no commitment — the decision the throughput bench measures
+     * and the fuzz test cross-checks. `oracle` selects the pre-index
+     * full-cluster best-fit scan; otherwise the free-capacity index
+     * answers with an ordered lookup plus a short ascending walk.
+     * Both return the same choice (see DESIGN.md, "Cluster indices"
+     * for the equivalence argument).
+     */
+    PlacementChoice probePlacement(const Request &req, bool oracle);
+
+    /** Full shadow validations run so far (bench observability). */
+    std::uint64_t
+    shadowEvaluations() const
+    {
+        return shadow_.evaluations();
+    }
+
   protected:
     bool tryDispatch(Request *req) override;
     bool tryDispatchDecode(Request *req) override;
@@ -198,6 +284,24 @@ class SlinferController : public ControllerBase
 
   private:
     friend class Consolidator;
+
+    /** Placement geometry for `req` (Eq. 2 requirement + watermark). */
+    struct PlacementDemand
+    {
+        bool cpuOk = false;
+        Bytes weights = 0;
+        Bytes require = 0;
+        Bytes recommend = 0;
+    };
+    PlacementDemand placementDemand(const Request &req) const;
+
+    PlacementChoice selectPlacement(const Request &req,
+                                    const PlacementDemand &d);
+    PlacementChoice selectPlacementOracle(const Request &req,
+                                          const PlacementDemand &d);
+    /** Shared eligibility+shadow check; fills `kvInit` on success. */
+    bool placementCandidateOk(Partition *p, const Request &req,
+                              const PlacementDemand &d, Bytes &kvInit);
 
     MemorySubsystem &subsystemFor(Partition *part);
     /** Can this request meet its SLO on the CPU node type at all? */
@@ -219,7 +323,8 @@ class SlinferController : public ControllerBase
 
     Quantifier quant_;
     ShadowValidator shadow_;
-    std::map<Partition *, std::unique_ptr<MemorySubsystem>> mem_;
+    /** Per-partition memory subsystems, indexed by viewPos. */
+    std::vector<std::unique_ptr<MemorySubsystem>> mem_;
     std::unique_ptr<Consolidator> consolidator_;
     /** Instances with a pending parked-grow eviction timeout. */
     std::set<InstanceId> shortageTimeouts_;

@@ -12,14 +12,15 @@ namespace slinfer
 
 MemorySubsystem::MemorySubsystem(Simulator &sim, Partition &partition,
                                  double watermark,
-                                 std::function<void()> notify)
+                                 std::function<void()> notify,
+                                 ClusterIndex *index, bool oracleScans)
     : sim_(sim), part_(partition), watermark_(watermark),
-      notify_(std::move(notify))
+      notify_(std::move(notify)), index_(index), oracle_(oracleScans)
 {
 }
 
 Bytes
-MemorySubsystem::committed() const
+MemorySubsystem::committedScan() const
 {
     Bytes total = 0;
     for (const Instance *inst : part_.instances) {
@@ -32,6 +33,14 @@ MemorySubsystem::committed() const
         total += inst->model.weightBytes() + inst->kvTarget;
     }
     return total;
+}
+
+void
+MemorySubsystem::setKvTarget(Instance &inst, Bytes target)
+{
+    if (index_)
+        index_->onKvTargetChanged(inst, inst.kvTarget, target);
+    inst.kvTarget = target;
 }
 
 Bytes
@@ -93,16 +102,14 @@ MemorySubsystem::commitPlan(Instance &inst, const Plan &plan)
         panic("MemorySubsystem: committing a failed plan");
     if (!plan.needsResize)
         return;
-    inst.kvTarget = plan.target;
+    setKvTarget(inst, plan.target);
     issueResize(inst);
 }
 
 bool
 MemorySubsystem::canPlace(Bytes weights, Bytes kvInit) const
 {
-    Bytes limit = static_cast<Bytes>(static_cast<double>(capacity()) *
-                                     (1.0 - kPlacementReserve));
-    return committed() + weights + kvInit <= limit;
+    return canPlaceWith(committed(), weights, kvInit);
 }
 
 void
@@ -113,14 +120,15 @@ MemorySubsystem::issueResize(Instance &inst)
         return; // the pending load reads kvTarget when it executes
     if (inst.resizeInFlight || parkedResize_.count(inst.id))
         return; // the running/parked op picks up the new target
-    if (!tryExecute(Op{OpKind::Resize, &inst, nullptr})) {
+    Op op{OpKind::Resize, &inst, nullptr};
+    if (!tryExecute(op)) {
         parkedResize_.insert(inst.id);
-        station_.push_back(Op{OpKind::Resize, &inst, nullptr});
+        station_.push_back(std::move(op));
     }
 }
 
 bool
-MemorySubsystem::tryExecute(Op op)
+MemorySubsystem::tryExecute(Op &op)
 {
     Instance &inst = *op.inst;
     if (op.kind == OpKind::Resize) {
@@ -139,7 +147,7 @@ MemorySubsystem::tryExecute(Op op)
                       inst.model.kvBytesPerToken();
         if (floor > target) {
             target = floor;
-            inst.kvTarget = target; // keep the optimistic budget honest
+            setKvTarget(inst, target); // keep the optimistic budget honest
             if (target == old_alloc)
                 return true;
         }
@@ -171,11 +179,12 @@ MemorySubsystem::tryExecute(Op op)
         panic("MemorySubsystem: load hold failed after check");
     inst.memResident = true;
     inst.kv.setAllocBytes(inst.kvTarget);
-    auto done = op.done;
     sim_.schedule(Loader::loadTime(part_.spec, inst.model),
-                  [this, &inst, done] {
+                  [this, &inst, done = std::move(op.done)]() mutable {
                       inst.state = InstanceState::Active;
                       inst.activeAt = sim_.now();
+                      if (index_)
+                          index_->onInstanceActivated(inst);
                       // Admissions during the load may have raised the
                       // committed KV target past what the load held.
                       if (inst.kvTarget != inst.kv.allocBytes())
@@ -193,14 +202,20 @@ MemorySubsystem::finishResize(Instance &inst, Bytes oldAlloc,
 {
     (void)oldAlloc;
     inst.resizeInFlight = false;
-    inst.scalingTime += sim_.now() - started;
+    Seconds blocked = sim_.now() - started;
+    inst.scalingTime += blocked;
+    // The oracle scaling sum only sees instances with activeAt >= 0;
+    // pre-activation accruals are folded in at activation.
+    if (index_ && inst.activeAt >= 0)
+        index_->addScalingSeconds(blocked);
     // Coalesced follow-up demand issued while this op ran.
     if (inst.kvTarget != inst.kv.allocBytes() &&
         inst.state != InstanceState::Reclaimed &&
         inst.state != InstanceState::Unloading) {
-        if (!tryExecute(Op{OpKind::Resize, &inst, nullptr})) {
+        Op op{OpKind::Resize, &inst, nullptr};
+        if (!tryExecute(op)) {
             parkedResize_.insert(inst.id);
-            station_.push_back(Op{OpKind::Resize, &inst, nullptr});
+            station_.push_back(std::move(op));
         }
     }
     drainStation();
@@ -208,7 +223,7 @@ MemorySubsystem::finishResize(Instance &inst, Bytes oldAlloc,
 }
 
 void
-MemorySubsystem::beginLoad(Instance &inst, std::function<void()> loaded)
+MemorySubsystem::beginLoad(Instance &inst, DoneFn loaded)
 {
     inst.loadDuration = Loader::loadTime(part_.spec, inst.model);
     Op op{OpKind::Load, &inst, std::move(loaded)};
@@ -217,18 +232,25 @@ MemorySubsystem::beginLoad(Instance &inst, std::function<void()> loaded)
 }
 
 void
-MemorySubsystem::beginUnload(Instance &inst, std::function<void()> unloaded)
+MemorySubsystem::beginUnload(Instance &inst, DoneFn unloaded)
 {
     if (inst.resizeInFlight)
         panic("MemorySubsystem: unload during resize");
+    if (index_) {
+        index_->onInstanceUnloading(inst);
+        if (inst.state == InstanceState::Active)
+            index_->onInstanceDeactivated(inst);
+    }
     inst.state = InstanceState::Unloading;
     parkedResize_.erase(inst.id);
     Bytes footprint = inst.model.weightBytes() + inst.kv.allocBytes();
-    auto done = std::move(unloaded);
     sim_.schedule(MemCostModel::weightUnloadTime(part_.spec, inst.model),
-                  [this, &inst, footprint, done] {
+                  [this, &inst, footprint,
+                   done = std::move(unloaded)]() mutable {
                       inst.state = InstanceState::Reclaimed;
                       inst.reclaimedAt = sim_.now();
+                      if (index_)
+                          index_->onInstanceReclaimed(inst);
                       part_.mem.release(footprint);
                       if (done)
                           done();
@@ -237,11 +259,11 @@ MemorySubsystem::beginUnload(Instance &inst, std::function<void()> unloaded)
                   });
 }
 
-void
+bool
 MemorySubsystem::onRequestComplete(Instance &inst, double avgOut)
 {
     if (inst.state != InstanceState::Active)
-        return;
+        return false;
     Bytes require = requiredBytes(inst, nullptr, avgOut);
     Bytes recommend = static_cast<Bytes>(
         static_cast<double>(require) * (1.0 + watermark_));
@@ -249,9 +271,11 @@ MemorySubsystem::onRequestComplete(Instance &inst, double avgOut)
     // below the current target.
     if (static_cast<double>(recommend) * (1.0 + watermark_) <
         static_cast<double>(inst.kvTarget)) {
-        inst.kvTarget = recommend;
+        setKvTarget(inst, recommend);
         issueResize(inst);
+        return true;
     }
+    return false;
 }
 
 MemorySubsystem::GrowResult
@@ -282,7 +306,7 @@ MemorySubsystem::tryEmergencyGrow(Instance &inst, double avgOut)
         return GrowResult::Rejected;
     if (target <= inst.kvTarget)
         return GrowResult::Rejected;
-    inst.kvTarget = target;
+    setKvTarget(inst, target);
     issueResize(inst);
     if (inst.resizeInFlight)
         return GrowResult::Executing;

@@ -17,6 +17,21 @@
  * a reservation station and re-attempted whenever memory is freed.
  * The MemoryManager's tryHold() is therefore never allowed to fail,
  * which a property test drives with random scaling storms.
+ *
+ * The optimistic budget is maintained incrementally: every kvTarget
+ * mutation and load/unload transition goes through this class, which
+ * updates `Partition::committedBytes` and the controller's
+ * free-capacity index (core/cluster_index.hh), so `committed()` is
+ * O(1) on the admission hot path. `committedScan()` keeps the
+ * pre-index full walk alive as the oracle the fuzz test and the
+ * throughput bench compare against.
+ *
+ * Per-op callbacks (`beginLoad`/`beginUnload`) are stored in a
+ * small-buffer `DoneFn` (the 16-byte instantiation of the event
+ * arena's inline-callback template) instead of `std::function`, so
+ * parking an op in the reservation station allocates nothing and the
+ * completion events the ops schedule stay within the arena's inline
+ * payload window.
  */
 
 #ifndef SLINFER_CORE_MEMORY_SUBSYSTEM_HH
@@ -26,6 +41,7 @@
 #include <functional>
 #include <set>
 
+#include "core/cluster_index.hh"
 #include "engine/instance.hh"
 #include "engine/node.hh"
 #include "sim/simulator.hh"
@@ -36,12 +52,29 @@ namespace slinfer
 class MemorySubsystem
 {
   public:
+    /** Per-op completion callback: inline storage sized for the
+     *  controller's `[this, inst]` lambdas, heap fallback beyond. */
+    using DoneFn = BasicInlineCallback<16>;
+
     MemorySubsystem(Simulator &sim, Partition &partition, double watermark,
-                    std::function<void()> notify);
+                    std::function<void()> notify,
+                    ClusterIndex *index = nullptr,
+                    bool oracleScans = false);
 
     /** Optimistic budget: weights + committed KV target of every
-     *  non-reclaimed instance on the partition. */
-    Bytes committed() const;
+     *  non-reclaimed instance on the partition. O(1) via the running
+     *  partition total when an index is attached (scan otherwise, or
+     *  when the controller runs in oracle mode). */
+    Bytes
+    committed() const
+    {
+        if (index_ && !oracle_)
+            return part_.committedBytes;
+        return committedScan();
+    }
+
+    /** The pre-index oracle: walk the partition's instances. */
+    Bytes committedScan() const;
 
     Bytes capacity() const { return part_.mem.capacity(); }
 
@@ -71,6 +104,20 @@ class MemorySubsystem
      * the full capacity.
      */
     bool canPlace(Bytes weights, Bytes kvInit) const;
+    /** canPlace pinned to the running total / the oracle scan — the
+     *  two placement selectors use these explicitly so each path's
+     *  cost profile is measured faithfully regardless of mode (the
+     *  verdicts are identical; the fuzz test checks the totals). */
+    bool
+    canPlaceIndexed(Bytes weights, Bytes kvInit) const
+    {
+        return canPlaceWith(part_.committedBytes, weights, kvInit);
+    }
+    bool
+    canPlaceScan(Bytes weights, Bytes kvInit) const
+    {
+        return canPlaceWith(committedScan(), weights, kvInit);
+    }
 
     /** Fraction of capacity new placements may pledge. */
     static constexpr double kPlacementReserve = 0.08;
@@ -79,15 +126,18 @@ class MemorySubsystem
      * Begin a cold-start load: physically holds weights + the initial
      * KV target (parking in the reservation station if the transient
      * does not fit), then runs the load latency; `loaded` fires when
-     * the instance is Active.
+     * the instance is Active. Accepts any nullary callable (or
+     * nullptr) by small-buffer conversion.
      */
-    void beginLoad(Instance &inst, std::function<void()> loaded);
+    void beginLoad(Instance &inst, DoneFn loaded);
 
     /** Begin reclaiming: unload latency, then memory release. */
-    void beginUnload(Instance &inst, std::function<void()> unloaded);
+    void beginUnload(Instance &inst, DoneFn unloaded);
 
-    /** Lazy scale-down hook, called when a request completes. */
-    void onRequestComplete(Instance &inst, double avgOut);
+    /** Lazy scale-down hook, called when a request completes.
+     *  Returns true when a scale-down was committed (the optimistic
+     *  budget dropped — a placement-relevant event). */
+    bool onRequestComplete(Instance &inst, double avgOut);
 
     /** Outcome of the underestimation path (§VII-D). */
     enum class GrowResult
@@ -118,11 +168,24 @@ class MemorySubsystem
     {
         OpKind kind;
         Instance *inst;
-        std::function<void()> done; ///< only for Load
+        DoneFn done; ///< only for Load
     };
 
+    /** The one funnel for kvTarget mutations: keeps the partition's
+     *  running committed total and the free-capacity index honest. */
+    void setKvTarget(Instance &inst, Bytes target);
+
+    bool
+    canPlaceWith(Bytes committedNow, Bytes weights, Bytes kvInit) const
+    {
+        Bytes limit =
+            static_cast<Bytes>(static_cast<double>(capacity()) *
+                               (1.0 - kPlacementReserve));
+        return committedNow + weights + kvInit <= limit;
+    }
+
     void issueResize(Instance &inst);
-    bool tryExecute(Op op);
+    bool tryExecute(Op &op);
     void finishResize(Instance &inst, Bytes oldAlloc, Seconds started);
     void drainStation();
 
@@ -130,6 +193,8 @@ class MemorySubsystem
     Partition &part_;
     double watermark_;
     std::function<void()> notify_;
+    ClusterIndex *index_;
+    bool oracle_;
     std::deque<Op> station_;
     /** Instances with a parked (not yet executing) resize. */
     std::set<InstanceId> parkedResize_;

@@ -7,12 +7,6 @@
 namespace slinfer
 {
 
-std::string
-Quantifier::keyOf(const HardwareSpec &hw, const ModelSpec &m)
-{
-    return hw.name + "|" + m.name;
-}
-
 void
 Quantifier::profile(const HardwareSpec &hw, const ModelSpec &m,
                     int maxBatch)
@@ -36,22 +30,49 @@ Quantifier::profile(const HardwareSpec &hw, const ModelSpec &m,
                 PerfModel::decodeTime(hw, m, t.batchGrid[bi], len));
         }
     }
-    tables_[keyOf(hw, m)] = std::move(t);
+    ProfileTable &slot = tables_[std::make_pair(hw.name, m.name)];
+    slot = std::move(t);
+    // A refresh must not leave a memo entry pointing at stale data
+    // conceptually (the address is stable, but keep the semantics
+    // obvious): re-point any matching entry.
+    for (Memo &memo : memo_) {
+        if (memo.table && memo.hw == hw.name && memo.model == m.name)
+            memo.table = &slot;
+    }
+}
+
+const Quantifier::ProfileTable *
+Quantifier::find(const HardwareSpec &hw, const ModelSpec &m) const
+{
+    for (const Memo &memo : memo_) {
+        if (memo.table && memo.hw == hw.name && memo.model == m.name)
+            return memo.table;
+    }
+    auto it = tables_.find(std::make_pair(std::string_view(hw.name),
+                                          std::string_view(m.name)));
+    if (it == tables_.end())
+        return nullptr;
+    Memo &slot = memo_[memoNext_];
+    memoNext_ = (memoNext_ + 1) % memo_.size();
+    slot.hw = hw.name;
+    slot.model = m.name;
+    slot.table = &it->second;
+    return slot.table;
 }
 
 bool
 Quantifier::profiled(const HardwareSpec &hw, const ModelSpec &m) const
 {
-    return tables_.count(keyOf(hw, m)) > 0;
+    return find(hw, m) != nullptr;
 }
 
 const Quantifier::ProfileTable &
 Quantifier::tableFor(const HardwareSpec &hw, const ModelSpec &m) const
 {
-    auto it = tables_.find(keyOf(hw, m));
-    if (it == tables_.end())
-        panic("Quantifier: pair not profiled: " + keyOf(hw, m));
-    return it->second;
+    const ProfileTable *t = find(hw, m);
+    if (!t)
+        panic("Quantifier: pair not profiled: " + hw.name + "|" + m.name);
+    return *t;
 }
 
 namespace

@@ -15,8 +15,11 @@
 #ifndef SLINFER_CORE_QUANTIFIER_HH
 #define SLINFER_CORE_QUANTIFIER_HH
 
+#include <array>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "hw/perf_model.hh"
@@ -59,11 +62,52 @@ class Quantifier
         std::vector<std::vector<Seconds>> decode; ///< [batch][len]
     };
 
-    static std::string keyOf(const HardwareSpec &hw, const ModelSpec &m);
+    /**
+     * Transparent (hw name, model name) ordering so lookups probe with
+     * string_views — estimate queries run several times per placement
+     * candidate and per shadow-simulation step, and the previous
+     * string-concatenated key allocated on every single call.
+     */
+    struct KeyLess
+    {
+        using is_transparent = void;
+        template <typename A, typename B>
+        bool
+        operator()(const A &a, const B &b) const
+        {
+            if (std::string_view(a.first) != std::string_view(b.first))
+                return std::string_view(a.first) <
+                       std::string_view(b.first);
+            return std::string_view(a.second) <
+                   std::string_view(b.second);
+        }
+    };
+    using Tables =
+        std::map<std::pair<std::string, std::string>, ProfileTable,
+                 KeyLess>;
+
     const ProfileTable &tableFor(const HardwareSpec &hw,
                                  const ModelSpec &m) const;
+    const ProfileTable *find(const HardwareSpec &hw,
+                             const ModelSpec &m) const;
 
-    std::map<std::string, ProfileTable> tables_;
+    Tables tables_;
+
+    /**
+     * Tiny MRU memo in front of the map: a fleet shares a handful of
+     * (hardware, model) profile pairs, and consecutive queries (an
+     * aggregate-decode walk over one partition, a shadow fast-forward)
+     * almost always repeat one. Table pointers are stable (node-based
+     * map, profiles are never erased), so memo entries stay valid
+     * across inserts; profile() refreshes any matching entry.
+     */
+    struct Memo
+    {
+        std::string hw, model;
+        const ProfileTable *table = nullptr;
+    };
+    mutable std::array<Memo, 4> memo_;
+    mutable std::size_t memoNext_ = 0;
 };
 
 } // namespace slinfer

@@ -11,11 +11,24 @@ ShadowValidator::ShadowValidator(const Quantifier &quant, ShadowConfig cfg)
 {
 }
 
-std::vector<ShadowValidator::SimInst>
+ShadowValidator::SimInst &
+ShadowValidator::slotAt(std::size_t i) const
+{
+    if (i >= state_.size())
+        state_.resize(i + 1);
+    SimInst &s = state_[i];
+    s.prefills.clear();
+    s.decodeDeadlines.clear();
+    s.decodedSinceCandidate = false;
+    s.avgLen = 1.0;
+    return s;
+}
+
+std::size_t
 ShadowValidator::buildState(const Partition &part, Seconds now,
                             const std::set<const Instance *> &exclude) const
 {
-    std::vector<SimInst> state;
+    std::size_t n = 0;
     int next_id = 0;
     for (const Instance *inst : part.instances) {
         if (exclude.count(inst))
@@ -25,7 +38,7 @@ ShadowValidator::buildState(const Partition &part, Seconds now,
             inst->state == InstanceState::Draining) {
             continue;
         }
-        SimInst s;
+        SimInst &s = slotAt(n++);
         s.model = &inst->model;
         s.hw = &inst->execSpec;
         s.availAt = inst->state == InstanceState::Loading
@@ -40,31 +53,29 @@ ShadowValidator::buildState(const Partition &part, Seconds now,
                 {r->deadlineForNextToken(), next_id++});
         }
         s.avgLen = static_cast<double>(inst->avgContextLen());
-        state.push_back(std::move(s));
     }
-    return state;
+    return n;
 }
 
 bool
-ShadowValidator::simulate(std::vector<SimInst> state, Seconds start,
-                          const std::set<int> *exempt,
-                          std::set<int> *doomed) const
+ShadowValidator::simulate(std::vector<SimInst> &v, std::size_t count,
+                          Seconds start, bool collectDoomed) const
 {
     Seconds t = start;
     bool candidate_present = false;
-    for (const SimInst &si : state)
-        for (const SimReq &p : si.prefills)
+    for (std::size_t i = 0; i < count; ++i)
+        for (const SimReq &p : v[i].prefills)
             if (p.isCandidate)
                 candidate_present = true;
     bool candidate_prefilled = !candidate_present;
 
-    auto is_exempt = [&](int id) {
-        return exempt && exempt->count(id) > 0;
+    auto is_exempt = [this](int id) {
+        return std::binary_search(doomed_.begin(), doomed_.end(), id);
     };
     auto violate = [&](int id) {
         // Returns true when the violation should reject the admission.
-        if (doomed) {
-            doomed->insert(id);
+        if (collectDoomed) {
+            doomed_.push_back(id);
             return false;
         }
         return !is_exempt(id);
@@ -84,7 +95,8 @@ ShadowValidator::simulate(std::vector<SimInst> state, Seconds start,
         // every busy instance decoded at least once.
         if (candidate_prefilled) {
             bool all_ok = true;
-            for (const SimInst &si : state) {
+            for (std::size_t i = 0; i < count; ++i) {
+                const SimInst &si = v[i];
                 if (!si.prefills.empty()) {
                     all_ok = false;
                     break;
@@ -104,7 +116,8 @@ ShadowValidator::simulate(std::vector<SimInst> state, Seconds start,
         Seconds best = std::numeric_limits<Seconds>::infinity();
         Seconds min_avail = std::numeric_limits<Seconds>::infinity();
         bool any_work = false;
-        for (SimInst &si : state) {
+        for (std::size_t i = 0; i < count; ++i) {
+            SimInst &si = v[i];
             if (si.prefills.empty() && si.decodeDeadlines.empty())
                 continue;
             any_work = true;
@@ -177,30 +190,37 @@ ShadowValidator::simulate(std::vector<SimInst> state, Seconds start,
 }
 
 bool
-ShadowValidator::twoPass(std::vector<SimInst> state, Seconds start,
+ShadowValidator::twoPass(std::size_t count, Seconds start,
                          Seconds now) const
 {
+    ++evals_;
     // Baseline pass without the candidate: whatever violates anyway is
-    // doomed and must not veto the admission.
-    std::vector<SimInst> baseline = state;
-    for (SimInst &si : baseline) {
+    // doomed and must not veto the admission. The baseline scratch
+    // copy-assigns element-wise so inner buffers are recycled.
+    if (baseline_.size() < count)
+        baseline_.resize(count);
+    for (std::size_t i = 0; i < count; ++i)
+        baseline_[i] = state_[i];
+    for (std::size_t i = 0; i < count; ++i) {
+        SimInst &si = baseline_[i];
         si.prefills.erase(
             std::remove_if(si.prefills.begin(), si.prefills.end(),
                            [](const SimReq &p) { return p.isCandidate; }),
             si.prefills.end());
     }
-    std::set<int> doomed;
-    simulate(baseline, start, nullptr, &doomed);
+    doomed_.clear();
+    simulate(baseline_, count, start, /*collectDoomed=*/true);
     // A candidate whose own deadline has already passed (an evicted /
     // migrated request being re-placed) cannot be protected either; it
     // must still find a home, so its own lateness does not reject.
-    for (const SimInst &si : state) {
-        for (const SimReq &p : si.prefills) {
+    for (std::size_t i = 0; i < count; ++i) {
+        for (const SimReq &p : state_[i].prefills) {
             if (p.isCandidate && p.deadline < now)
-                doomed.insert(p.id);
+                doomed_.push_back(p.id);
         }
     }
-    return simulate(std::move(state), start, &doomed, nullptr);
+    std::sort(doomed_.begin(), doomed_.end());
+    return simulate(state_, count, start, /*collectDoomed=*/false);
 }
 
 bool
@@ -245,7 +265,7 @@ ShadowValidator::canAdmit(const Partition &part, const Instance *target,
     if (!aggregateDecodeFits(part, target, 1, req.contextLen(), exclude))
         return false;
 
-    std::vector<SimInst> state = buildState(part, now, exclude);
+    std::size_t count = buildState(part, now, exclude);
     std::size_t live = 0;
     for (const Instance *inst : part.instances) {
         if (exclude.count(inst))
@@ -256,12 +276,12 @@ ShadowValidator::canAdmit(const Partition &part, const Instance *target,
             continue;
         }
         if (inst == target) {
-            state[live].prefills.push_back({req.deadlineForNextToken(),
-                                            req.contextLen(), true, -1});
+            state_[live].prefills.push_back({req.deadlineForNextToken(),
+                                             req.contextLen(), true, -1});
         }
         ++live;
     }
-    return twoPass(std::move(state), std::max(now, partBusyUntil), now);
+    return twoPass(count, std::max(now, partBusyUntil), now);
 }
 
 bool
@@ -291,8 +311,8 @@ ShadowValidator::canAdmitNew(const Partition &part, const ModelSpec &model,
     if (own + others > cfg_.tpotSlo)
         return false;
 
-    std::vector<SimInst> state = buildState(part, now, {});
-    SimInst cand;
+    std::size_t count = buildState(part, now, {});
+    SimInst &cand = slotAt(count);
     cand.model = &model;
     cand.hw = &execSpec;
     cand.availAt = readyAt;
@@ -302,8 +322,7 @@ ShadowValidator::canAdmitNew(const Partition &part, const ModelSpec &model,
     cand.prefills.push_back({req.deadlineForNextToken() + grace,
                              req.contextLen(), true, -1});
     cand.avgLen = static_cast<double>(req.contextLen());
-    state.push_back(std::move(cand));
-    return twoPass(std::move(state), std::max(now, partBusyUntil), now);
+    return twoPass(count + 1, std::max(now, partBusyUntil), now);
 }
 
 } // namespace slinfer

@@ -66,6 +66,10 @@ class ShadowValidator
                              const std::set<const Instance *> &exclude =
                                  {}) const;
 
+    /** Cumulative full validations run (observability: the controller
+     *  throughput bench reports shadow work per decision). */
+    std::uint64_t evaluations() const { return evals_; }
+
   private:
     struct SimReq
     {
@@ -90,31 +94,52 @@ class ShadowValidator
         bool decodedSinceCandidate = false;
     };
 
-    std::vector<SimInst> buildState(
-        const Partition &part, Seconds now,
-        const std::set<const Instance *> &exclude) const;
+    /**
+     * Rebuild the validation state for `part` into the first slots of
+     * `state_`, returning the live-instance count. All validation
+     * scratch (`state_`, `baseline_`, `doomed_`) is per-validator
+     * storage recycled across calls — admission validation runs a few
+     * hundred times per simulated second at fleet scale, and the
+     * pre-scratch version re-allocated every inner vector (plus two
+     * deep copies per two-pass run) per call. The validator is
+     * therefore not reentrant, which is fine: one controller owns one
+     * validator on one simulator thread.
+     */
+    std::size_t buildState(const Partition &part, Seconds now,
+                           const std::set<const Instance *> &exclude)
+        const;
+
+    /** A recycled `state_` slot, inner vectors cleared. */
+    SimInst &slotAt(std::size_t i) const;
 
     /**
-     * Fast-forward the token-level schedule. With `doomed == nullptr`,
-     * returns false on the first violation by a request not in
-     * `exempt`. With `doomed != nullptr`, never fails; instead it
-     * records the ids of requests that violate (used as the baseline
-     * pass: requests that are late even without the candidate cannot be
-     * protected and must not veto admissions).
+     * Fast-forward the token-level schedule over `v[0..count)`,
+     * consuming it. With `collectDoomed == false`, returns false on
+     * the first violation by a request not in the sorted `doomed_`
+     * scratch. With `collectDoomed == true`, never fails; instead it
+     * records the ids of requests that violate into `doomed_` (used
+     * as the baseline pass: requests that are late even without the
+     * candidate cannot be protected and must not veto admissions).
      */
-    bool simulate(std::vector<SimInst> state, Seconds start,
-                  const std::set<int> *exempt,
-                  std::set<int> *doomed) const;
+    bool simulate(std::vector<SimInst> &v, std::size_t count,
+                  Seconds start, bool collectDoomed) const;
 
-    /** Two-pass validation: baseline marks the doomed, then the real
-     *  pass (with the candidate) checks only protectable requests.
-     *  `now` is the true wall clock (start may be later when the
-     *  partition is mid-iteration). */
-    bool twoPass(std::vector<SimInst> state, Seconds start,
-                 Seconds now) const;
+    /** Two-pass validation over `state_[0..count)`: the baseline pass
+     *  (without the candidate) marks the doomed, then the real pass
+     *  checks only protectable requests. `now` is the true wall clock
+     *  (start may be later when the partition is mid-iteration). */
+    bool twoPass(std::size_t count, Seconds start, Seconds now) const;
 
     const Quantifier &quant_;
     ShadowConfig cfg_;
+
+    /** Recycled validation scratch (see buildState). */
+    mutable std::vector<SimInst> state_;
+    mutable std::vector<SimInst> baseline_;
+    /** Ids that violate even without the candidate; sorted between
+     *  the two passes, membership via binary search. */
+    mutable std::vector<int> doomed_;
+    mutable std::uint64_t evals_ = 0;
 };
 
 } // namespace slinfer

@@ -12,9 +12,10 @@ namespace slinfer
 
 TokenScheduler::TokenScheduler(Simulator &sim, Partition &partition,
                                SchedPolicy policy, double noiseSigma,
-                               Rng rng, Callbacks cbs, ClusterStats *stats)
+                               Rng rng, Callbacks cbs, ClusterStats *stats,
+                               ClusterIndex *index)
     : sim_(sim), part_(partition), policy_(policy), sigma_(noiseSigma),
-      rng_(rng), cbs_(std::move(cbs)), stats_(stats)
+      rng_(rng), cbs_(std::move(cbs)), stats_(stats), index_(index)
 {
 }
 
@@ -157,6 +158,8 @@ TokenScheduler::runPrefill(Instance *inst, Request *req)
     part_.busy = true;
     busyUntil_ = sim_.now() + dur;
     inst->busyTime += dur;
+    if (index_)
+        index_->addBusySeconds(inst->execSpec.kind, dur);
     curInst_ = inst;
     curPrefill_ = req;
     sim_.schedule(dur, [this] { finishIteration(); });
@@ -174,6 +177,8 @@ TokenScheduler::runDecode(Instance *inst)
     part_.busy = true;
     busyUntil_ = sim_.now() + dur;
     inst->busyTime += dur;
+    if (index_)
+        index_->addBusySeconds(inst->execSpec.kind, dur);
     curInst_ = inst;
     curPrefill_ = nullptr;
     curBatch_ = inst->decodeBatch;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "core/cluster_index.hh"
 #include "engine/instance.hh"
 #include "metrics/cluster_stats.hh"
 #include "sim/simulator.hh"
@@ -56,7 +57,7 @@ class TokenScheduler
 
     TokenScheduler(Simulator &sim, Partition &partition, SchedPolicy policy,
                    double noiseSigma, Rng rng, Callbacks cbs,
-                   ClusterStats *stats);
+                   ClusterStats *stats, ClusterIndex *index = nullptr);
 
     /** Start an iteration if the partition is idle and work exists. */
     void kick();
@@ -84,6 +85,8 @@ class TokenScheduler
     Rng rng_;
     Callbacks cbs_;
     ClusterStats *stats_;
+    /** Feeds the controller's running busy-seconds aggregates. */
+    ClusterIndex *index_;
     Seconds busyUntil_ = 0.0;
 
     // In-flight iteration state (one iteration per partition at a time).

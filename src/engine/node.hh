@@ -14,6 +14,7 @@
 #ifndef SLINFER_ENGINE_NODE_HH
 #define SLINFER_ENGINE_NODE_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,21 @@ struct Partition
     Instance *exclusiveHolder = nullptr;
     /** True while an iteration is executing on this partition. */
     bool busy = false;
+
+    /**
+     * Running optimistic budget: weights + committed KV target of
+     * every non-Unloading/non-Reclaimed resident, maintained
+     * incrementally by ClusterIndex at instance registration, KV
+     * target changes and unload transitions (the oracle scan it
+     * mirrors is MemorySubsystem::committedScan). Integer arithmetic,
+     * so the running value is exactly the scan's value.
+     */
+    Bytes committedBytes = 0;
+    /** Position in the controller's canonical cpu-first partition
+     *  view; doubles as the free-capacity index tie-breaker so the
+     *  indexed placement walk visits equal-free partitions in the
+     *  same order as the oracle scan. */
+    std::uint32_t viewPos = 0;
 
     /** Whether a new instance of another model may be placed here. */
     bool openForPlacement() const;

@@ -77,28 +77,37 @@ namespace slinfer
 /**
  * Type-erased nullary callable with inline small-buffer storage.
  *
- * Move-only. Callables whose size/alignment fit `kInlineBytes` are
- * stored in place (the common case: lambdas capturing a few pointers,
- * or a `std::function` wrapper); larger ones are boxed on the heap.
+ * Move-only. Callables whose size/alignment fit `N` bytes are stored
+ * in place (the common case: lambdas capturing a few pointers, or a
+ * `std::function` wrapper); larger ones are boxed on the heap.
+ *
+ * `InlineCallback` (N = 64) is the event arena's payload type; the
+ * memory subsystem stores its per-op completion callbacks in the
+ * 16-byte instantiation, sized for the controller's `[this, inst]`
+ * lambdas, so a parked load/unload op carries its callback with no
+ * allocation and still fits — together with the op's other captures —
+ * inside the arena's 64-byte inline window when it is rescheduled.
  */
-class InlineCallback
+template <std::size_t N>
+class BasicInlineCallback
 {
   public:
-    /** Sized for the engine's largest real capture — the memory
-     *  subsystem's `[this, &inst, footprint, done]` completion
-     *  callbacks carry a 32 B std::function plus three words (56 B) —
-     *  which the legacy queue's 16 B std::function SBO spilled to the
-     *  heap on every load/unload/resize event. */
-    static constexpr std::size_t kInlineBytes = 64;
+    static constexpr std::size_t kInlineBytes = N;
 
-    InlineCallback() = default;
-    InlineCallback(const InlineCallback &) = delete;
-    InlineCallback &operator=(const InlineCallback &) = delete;
+    BasicInlineCallback() = default;
+    /** Explicit "no callback" (call sites that used to take a null
+     *  std::function). */
+    BasicInlineCallback(std::nullptr_t) {}
+    BasicInlineCallback(const BasicInlineCallback &) = delete;
+    BasicInlineCallback &operator=(const BasicInlineCallback &) = delete;
 
-    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+    BasicInlineCallback(BasicInlineCallback &&other) noexcept
+    {
+        moveFrom(other);
+    }
 
-    InlineCallback &
-    operator=(InlineCallback &&other) noexcept
+    BasicInlineCallback &
+    operator=(BasicInlineCallback &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -107,7 +116,18 @@ class InlineCallback
         return *this;
     }
 
-    ~InlineCallback() { reset(); }
+    /** Construct directly from any callable (non-template overloads
+     *  can then accept `BasicInlineCallback` by value while callers
+     *  keep passing raw lambdas). */
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, BasicInlineCallback>>>
+    BasicInlineCallback(F &&f)
+    {
+        set(std::forward<F>(f));
+    }
+
+    ~BasicInlineCallback() { reset(); }
 
     /** Install a callable, destroying any previous one. */
     template <typename F>
@@ -172,7 +192,7 @@ class InlineCallback
     template <typename Fn> static const Ops kHeapOps;
 
     void
-    moveFrom(InlineCallback &other) noexcept
+    moveFrom(BasicInlineCallback &other) noexcept
     {
         vtable_ = other.vtable_;
         if (vtable_)
@@ -184,35 +204,46 @@ class InlineCallback
     alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
 };
 
+template <std::size_t N>
 template <typename Fn>
-const InlineCallback::Ops InlineCallback::kInlineOps = {
-    [](void *p) { (*static_cast<Fn *>(p))(); },
-    [](void *src, void *dst) {
-        Fn *s = static_cast<Fn *>(src);
-        new (dst) Fn(std::move(*s));
-        s->~Fn();
-    },
-    [](void *p) { static_cast<Fn *>(p)->~Fn(); },
-    [](void *p) {
-        Fn *f = static_cast<Fn *>(p);
-        (*f)();
-        f->~Fn();
-    },
+const typename BasicInlineCallback<N>::Ops
+    BasicInlineCallback<N>::kInlineOps = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *src, void *dst) {
+            Fn *s = static_cast<Fn *>(src);
+            new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+        [](void *p) {
+            Fn *f = static_cast<Fn *>(p);
+            (*f)();
+            f->~Fn();
+        },
 };
 
+template <std::size_t N>
 template <typename Fn>
-const InlineCallback::Ops InlineCallback::kHeapOps = {
-    [](void *p) { (**static_cast<Fn **>(p))(); },
-    [](void *src, void *dst) {
-        *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
-    },
-    [](void *p) { delete *static_cast<Fn **>(p); },
-    [](void *p) {
-        Fn *f = *static_cast<Fn **>(p);
-        (*f)();
-        delete f;
-    },
+const typename BasicInlineCallback<N>::Ops
+    BasicInlineCallback<N>::kHeapOps = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *src, void *dst) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+        [](void *p) {
+            Fn *f = *static_cast<Fn **>(p);
+            (*f)();
+            delete f;
+        },
 };
+
+/** The event arena's payload type. Sized for the engine's largest
+ *  real capture — the memory subsystem's `[this, &inst, footprint,
+ *  done]` completion callbacks carry a 32 B inline done-callback plus
+ *  three words (56 B) — which the legacy queue's 16 B std::function
+ *  SBO spilled to the heap on every load/unload/resize event. */
+using InlineCallback = BasicInlineCallback<64>;
 
 class EventQueue;
 
