@@ -28,9 +28,11 @@ main()
 
     // Re-run with stats retained for the CDF.
     Simulator sim;
-    auto nodes = buildCluster(cfg.cluster, 1);
+    ClusterHandle cluster{buildCluster(cfg.cluster, 1), nullptr};
+    auto &nodes = cluster.nodes;
     Recorder recorder;
     ClusterStats stats(sim, nodes);
+    cluster.stats = &stats;
     stats.start(cfg.trace.duration);
     Dataset dataset(cfg.dataset);
     Rng len_rng = Rng(cfg.seed).fork(0x1E46);
@@ -52,8 +54,8 @@ main()
         requests.push_back(req);
     }
     std::vector<double> avg(cfg.models.size(), dataset.meanOutput());
-    auto ctl = makeSystem(cfg.system, sim, nodes, cfg.models, avg,
-                          cfg.controller, recorder, &stats);
+    auto ctl = makeSystem(cfg.system, sim, cluster, cfg.models, avg,
+                          cfg.controller, recorder);
     for (Request &req : requests)
         sim.scheduleAt(req.arrival, [&ctl, &req] { ctl->submit(&req); });
     sim.run();

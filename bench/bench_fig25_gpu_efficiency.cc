@@ -35,9 +35,12 @@ runWithStats(SystemKind sys)
     cfg.trace = generateAzureTrace(tc);
 
     Simulator sim;
-    auto nodes = buildCluster(cfg.cluster, systemPartitions(sys));
+    ClusterHandle cluster{buildCluster(cfg.cluster, systemPartitions(sys)),
+                          nullptr};
+    auto &nodes = cluster.nodes;
     Recorder recorder;
     ClusterStats stats(sim, nodes);
+    cluster.stats = &stats;
     stats.start(cfg.trace.duration);
     Dataset dataset(cfg.dataset);
     Rng len_rng = Rng(cfg.seed).fork(0x1E46);
@@ -59,8 +62,8 @@ runWithStats(SystemKind sys)
         requests.push_back(req);
     }
     std::vector<double> avg(cfg.models.size(), dataset.meanOutput());
-    auto ctl = makeSystem(sys, sim, nodes, cfg.models, avg,
-                          cfg.controller, recorder, &stats);
+    auto ctl = makeSystem(sys, sim, cluster, cfg.models, avg,
+                          cfg.controller, recorder);
     for (Request &req : requests)
         sim.scheduleAt(req.arrival, [&ctl, &req] { ctl->submit(&req); });
     sim.run();

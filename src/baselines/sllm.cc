@@ -94,6 +94,8 @@ SllmController::admitIfRoom(Request *req, Instance *inst, bool asDecode)
     if (inst->state != InstanceState::Active &&
         inst->state != InstanceState::Loading)
         return false;
+    if (inst->draining || inst->primary->failed)
+        return false; // being drained by an intervention
     // Full-node deployments (13B-on-CPU exception, exclusive 22B/34B)
     // carry extra holds and use the unshared caps.
     bool shared = opts_.staticShare && inst->extraHolds.empty();
@@ -125,7 +127,7 @@ SllmController::createInstanceFor(ModelId model, InstanceRole role)
         int degree = std::max(1, spec.tpDegree);
         std::vector<Node *> free_nodes;
         for (const auto &node : nodes_) {
-            if (node->isCpu() || node->inUse())
+            if (node->isCpu() || node->inUse() || node->failed())
                 continue;
             free_nodes.push_back(node.get());
             if (static_cast<int>(free_nodes.size()) == degree)

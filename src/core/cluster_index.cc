@@ -53,8 +53,26 @@ ClusterIndex::moveFreeKey(const Partition &part, Bytes oldFree)
 {
     auto &set = free_[part.spec.kind == HwKind::Cpu ? 0 : 1];
     set.erase({oldFree, part.viewPos});
-    set.insert({part.mem.capacity() - part.committedBytes,
-                part.viewPos});
+    // Failed partitions stay out of the free sets until restored;
+    // their committed totals keep updating while residents drain.
+    if (!part.failed) {
+        set.insert({part.mem.capacity() - part.committedBytes,
+                    part.viewPos});
+    }
+}
+
+void
+ClusterIndex::onPartitionFailed(const Partition &part)
+{
+    free_[part.spec.kind == HwKind::Cpu ? 0 : 1].erase(
+        {part.mem.capacity() - part.committedBytes, part.viewPos});
+}
+
+void
+ClusterIndex::onPartitionRestored(const Partition &part)
+{
+    free_[part.spec.kind == HwKind::Cpu ? 0 : 1].insert(
+        {part.mem.capacity() - part.committedBytes, part.viewPos});
 }
 
 void
@@ -165,6 +183,17 @@ ClusterIndex::auditAgainst(
                 return err.str();
             }
             int k = p.spec.kind == HwKind::Cpu ? 0 : 1;
+            if (p.failed) {
+                // Fenced partitions must be absent from the free sets.
+                FreeKey key{p.mem.capacity() - p.committedBytes,
+                            p.viewPos};
+                if (free_[k].count(key)) {
+                    err << "partition " << p.node << "/" << p.index
+                        << ": failed but still in the free index";
+                    return err.str();
+                }
+                continue;
+            }
             ++partCount[k];
             FreeKey key{p.mem.capacity() - p.committedBytes, p.viewPos};
             if (!free_[k].count(key)) {

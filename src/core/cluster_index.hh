@@ -116,6 +116,13 @@ class ClusterIndex
     /** Unloading → Reclaimed: retire its uptime contribution. */
     void onInstanceReclaimed(const Instance &inst);
 
+    /** The partition was fenced by a node-failure intervention: drop
+     *  its free key so placement walks never visit it. `part.failed`
+     *  must already be set (moveFreeKey consults it). */
+    void onPartitionFailed(const Partition &part);
+    /** The partition reopened: reinsert its current free key. */
+    void onPartitionRestored(const Partition &part);
+
     /** An iteration of `dur` seconds started on `kind` hardware. */
     void
     addBusySeconds(HwKind kind, Seconds dur)

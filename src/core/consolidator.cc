@@ -69,6 +69,8 @@ Consolidator::planVictims(Instance *grower, Request *req, VictimPlan &plan)
                     continue;
                 if (cand->state != InstanceState::Active || cand->staticKv)
                     continue;
+                if (cand->draining || cand->primary->failed)
+                    continue; // being drained by an intervention
                 if (cand->role != InstanceRole::Unified)
                     continue;
                 Partition *cp = cand->primary;
@@ -168,6 +170,8 @@ Consolidator::tryPreemptFor(Request *req)
     for (Instance *inst : me.instances) {
         if (inst->state != InstanceState::Active || inst->staticKv)
             continue;
+        if (inst->draining || inst->primary->failed)
+            continue; // being drained by an intervention
         if (inst->role != InstanceRole::Unified)
             continue;
         growers.push_back(inst);

@@ -38,6 +38,10 @@ void
 ControllerBase::submit(Request *req)
 {
     recorder_.onArrival(*req);
+    if (models_[req->model].retired) {
+        dropRequest(req);
+        return;
+    }
     if (!tryDispatch(req))
         queueRequest(req);
 }
@@ -54,6 +58,236 @@ ControllerBase::onRequestDoneHook(Request *req, Instance *inst)
 {
     (void)req;
     (void)inst;
+}
+
+void
+ControllerBase::onModelDeployed(ModelId m)
+{
+    (void)m;
+}
+
+bool
+ControllerBase::tryAbortParkedLoad(Instance *inst)
+{
+    (void)inst;
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Interventions (Session::inject / timelines)
+// --------------------------------------------------------------------
+
+/** Re-sweep cadence for instances whose memory ops must settle before
+ *  an intervention can unload them. */
+static constexpr Seconds kDrainSweepInterval = 0.05;
+
+void
+ControllerBase::dropRequest(Request *req)
+{
+    auto it = dropEvents_.find(req->id);
+    if (it != dropEvents_.end()) {
+        it->second.cancel();
+        dropEvents_.erase(it);
+    }
+    req->state = RequestState::Dropped;
+    recorder_.onDrop(*req, sim_.now());
+}
+
+void
+ControllerBase::evictAllRequests(Instance *inst, bool drop)
+{
+    std::vector<Request *> owned = inst->prefillQueue;
+    owned.insert(owned.end(), inst->decodeBatch.begin(),
+                 inst->decodeBatch.end());
+    if (owned.empty())
+        return;
+    for (Request *req : owned) {
+        if (drop) {
+            inst->removeRequest(req);
+            inst->kv.release(req->kvReserved);
+            req->kvReserved = 0;
+            req->instance = 0;
+            dropRequest(req);
+        } else {
+            // Recompute-style migration, exactly the shortage
+            // eviction path: the next host re-prefills.
+            requeueEvicted(req, inst);
+        }
+    }
+    markAllDecodeDirty();
+}
+
+bool
+ControllerBase::settleInstance(Instance *inst, bool drop,
+                               unsigned reasonBit)
+{
+    evictAllRequests(inst, drop);
+    if (inst->state == InstanceState::Loading && !inst->memResident &&
+        tryAbortParkedLoad(inst)) {
+        return true; // the parked load never held memory; retired flat-out
+    }
+    if (inst->state == InstanceState::Active && !inst->resizeInFlight) {
+        cancelKeepAlive(inst);
+        doUnload(inst);
+        return true;
+    }
+    if (inst->state == InstanceState::Unloading ||
+        inst->state == InstanceState::Reclaimed)
+        return true;
+    // An executing load or resize must land first (beginUnload refuses
+    // mid-resize); the drain sweep retries shortly after. Fence the
+    // instance so admission paths keep off it in the meantime —
+    // otherwise retryPending() would re-admit the very requests the
+    // sweep just evicted, churning until the op lands.
+    inst->draining |= reasonBit;
+    return false;
+}
+
+void
+ControllerBase::drainNodeInstances(Node *node)
+{
+    if (!node->failed())
+        return; // restored while a sweep was pending; stop draining
+    bool unsettled = false;
+    for (auto &part : node->partitions()) {
+        // Copy: unloads and aborts mutate the resident list.
+        std::vector<Instance *> insts = part->instances;
+        for (Instance *inst : insts) {
+            if (inst->state == InstanceState::Unloading ||
+                inst->state == InstanceState::Reclaimed)
+                continue;
+            if (!settleInstance(inst, false, kDrainNodeFail))
+                unsettled = true;
+        }
+    }
+    if (unsettled) {
+        sim_.schedule(kDrainSweepInterval,
+                      [this, node] { drainNodeInstances(node); });
+    }
+    retryPending();
+}
+
+void
+ControllerBase::drainInstanceSet(std::vector<Instance *> insts, bool drop)
+{
+    std::vector<Instance *> remaining;
+    for (Instance *inst : insts) {
+        if (inst->state == InstanceState::Unloading ||
+            inst->state == InstanceState::Reclaimed)
+            continue;
+        if (!settleInstance(inst, drop, kDrainInstanceSet))
+            remaining.push_back(inst);
+    }
+    if (!remaining.empty()) {
+        sim_.schedule(kDrainSweepInterval,
+                      [this, remaining = std::move(remaining), drop] {
+                          drainInstanceSet(remaining, drop);
+                      });
+    }
+    retryPending();
+}
+
+void
+ControllerBase::failNode(NodeId node)
+{
+    if (node >= nodes_.size())
+        fatal("failNode: unknown node " + std::to_string(node));
+    Node *n = nodes_[node].get();
+    if (n->failed())
+        return;
+    n->setFailed(true);
+    for (auto &p : n->partitions())
+        index_.onPartitionFailed(*p);
+    drainNodeInstances(n);
+}
+
+void
+ControllerBase::restoreNode(NodeId node)
+{
+    if (node >= nodes_.size())
+        fatal("restoreNode: unknown node " + std::to_string(node));
+    Node *n = nodes_[node].get();
+    if (!n->failed())
+        return;
+    n->setFailed(false);
+    for (auto &p : n->partitions()) {
+        index_.onPartitionRestored(*p);
+        // Residents the interrupted node drain never settled go back
+        // into service (that sweep stops once the node is restored);
+        // a concurrent redeploy/retire sweep keeps its own fence bit.
+        for (Instance *inst : p->instances)
+            inst->draining &= ~kDrainNodeFail;
+    }
+    markAllDecodeDirty();
+    retryPending();
+}
+
+ModelId
+ControllerBase::deployModel(const ModelSpec &spec, double initialAvgOutput)
+{
+    ModelEntry e;
+    e.spec = spec;
+    e.avgOutput = initialAvgOutput > 0 ? initialAvgOutput : 256.0;
+    models_.push_back(std::move(e));
+    pendingDecode_.emplace_back();
+    decodeDirty_.push_back(0);
+    ModelId id = static_cast<ModelId>(models_.size() - 1);
+    onModelDeployed(id);
+    return id;
+}
+
+void
+ControllerBase::redeployModel(ModelId model)
+{
+    if (model >= models_.size())
+        fatal("redeployModel: unknown model " + std::to_string(model));
+    ModelEntry &me = models_[model];
+    if (me.retired)
+        return;
+    // Only the instances of the *current* version drain; replacements
+    // created while the sweep settles are left alone.
+    drainInstanceSet(me.instances, false);
+}
+
+void
+ControllerBase::retireModel(ModelId model)
+{
+    if (model >= models_.size())
+        fatal("retireModel: unknown model " + std::to_string(model));
+    ModelEntry &me = models_[model];
+    if (me.retired)
+        return;
+    me.retired = true;
+    for (Request *req : pending_) {
+        if (req->state == RequestState::Queued && req->model == model)
+            dropRequest(req);
+    }
+    // The dropped ghosts purge from pending_ at later retry rounds.
+    auto &dq = pendingDecode_[model];
+    decodePendingCount_ -= dq.size();
+    for (auto &entry : dq) {
+        if (entry.second->state == RequestState::Transfer)
+            dropRequest(entry.second);
+    }
+    dq.clear();
+    drainInstanceSet(me.instances, true);
+}
+
+std::vector<std::size_t>
+ControllerBase::pendingPerModel() const
+{
+    std::vector<std::size_t> depth(models_.size(), 0);
+    for (const Request *req : pending_) {
+        if (req->state == RequestState::Queued)
+            ++depth[req->model];
+    }
+    for (std::size_t m = 0; m < pendingDecode_.size(); ++m) {
+        for (const auto &entry : pendingDecode_[m]) {
+            if (entry.second->state == RequestState::Transfer)
+                ++depth[m];
+        }
+    }
+    return depth;
 }
 
 TokenScheduler &
@@ -393,6 +627,19 @@ ControllerBase::requestDone(Request *req, Instance *inst)
 }
 
 void
+ControllerBase::requeueEvicted(Request *req, Instance *inst)
+{
+    inst->removeRequest(req);
+    inst->kv.release(req->kvReserved);
+    req->kvReserved = 0;
+    req->instance = 0;
+    req->state = RequestState::Queued;
+    ++req->migrations;
+    ++evictions_;
+    queueRequest(req);
+}
+
+void
 ControllerBase::evictLongestHeadroom(Instance *inst)
 {
     Request *victim = nullptr;
@@ -406,14 +653,7 @@ ControllerBase::evictLongestHeadroom(Instance *inst)
     }
     if (!victim)
         return;
-    inst->removeRequest(victim);
-    inst->kv.release(victim->kvReserved);
-    victim->kvReserved = 0;
-    victim->instance = 0;
-    victim->state = RequestState::Queued;
-    ++victim->migrations;
-    ++evictions_;
-    queueRequest(victim);
+    requeueEvicted(victim, inst);
     markAllDecodeDirty();
     retryPending();
 }
@@ -435,6 +675,10 @@ ControllerBase::takeAfterPrefill(Request *req, Instance *inst)
         scheduleKeepAlive(inst);
     markAllDecodeDirty();
     sim_.schedule(MemCostModel::kvMigrationTime(kv_bytes), [this, req] {
+        if (models_[req->model].retired) {
+            dropRequest(req); // retired mid-transfer; nothing may place
+            return;
+        }
         if (!tryDispatchDecode(req))
             queueDecode(req);
     });
@@ -640,6 +884,8 @@ SlinferController::tryExistingInstances(Request *req)
         if (inst->state != InstanceState::Active &&
             inst->state != InstanceState::Loading)
             continue;
+        if (inst->draining || inst->primary->failed)
+            continue; // being drained by an intervention
         if (cfg_.pdDisaggregation &&
             inst->role != InstanceRole::PrefillOnly)
             continue;
@@ -866,7 +1112,7 @@ SlinferController::tryExclusivePlacement(Request *req)
     // Collect fully idle GPU nodes.
     std::vector<Node *> free_nodes;
     for (const auto &node : nodes_) {
-        if (node->isCpu() || node->inUse())
+        if (node->isCpu() || node->inUse() || node->failed())
             continue;
         free_nodes.push_back(node.get());
         if (static_cast<int>(free_nodes.size()) == degree)
@@ -987,6 +1233,8 @@ SlinferController::tryDispatchDecode(Request *req)
             continue;
         if (inst->state != InstanceState::Active)
             continue;
+        if (inst->draining || inst->primary->failed)
+            continue; // being drained by an intervention
         cands.push_back(inst);
     }
     Consolidator::orderLargestBatchFirst(cands);
@@ -1089,6 +1337,36 @@ SlinferController::onRequestDoneHook(Request *req, Instance *inst)
         // which can unblock any model's decode placement there.
         markAllDecodeDirty();
     }
+}
+
+void
+SlinferController::onModelDeployed(ModelId m)
+{
+    // Profile the new model on every concrete partition spec, exactly
+    // as the constructor did for the initial fleet (§VI-B).
+    const ModelSpec &spec = models_[m].spec;
+    for (const auto &node : nodes_) {
+        for (const auto &part : node->partitions()) {
+            if (!quant_.profiled(part->spec, spec))
+                quant_.profile(part->spec, spec);
+            if (spec.tpDegree > 1 && !node->isCpu()) {
+                HardwareSpec tp = PerfModel::tensorParallel(
+                    node->spec(), spec.tpDegree);
+                if (!quant_.profiled(tp, spec))
+                    quant_.profile(tp, spec);
+            }
+        }
+    }
+}
+
+bool
+SlinferController::tryAbortParkedLoad(Instance *inst)
+{
+    if (!subsystemFor(inst->primary).abortParkedLoad(*inst))
+        return false;
+    unregisterInstance(inst);
+    markAllDecodeDirty();
+    return true;
 }
 
 std::size_t

@@ -50,6 +50,8 @@ struct ModelEntry
     double avgOutput = 256.0;
     /** Live instances (Loading/Active/Draining). */
     std::vector<Instance *> instances;
+    /** Retired by an intervention: requests drop, nothing places. */
+    bool retired = false;
 };
 
 class ControllerBase
@@ -68,6 +70,42 @@ class ControllerBase
 
     /** Entry point: a request arrives. */
     void submit(Request *req);
+
+    // --- intervention hooks (Session::inject / timelines) -----------
+    /**
+     * Fence `node`: its partitions close for placement and leave the
+     * free-capacity index, in-flight requests are evicted (they
+     * re-queue and migrate elsewhere, recompute-style), and residents
+     * unload as soon as their in-flight memory ops settle (a periodic
+     * drain sweep retries Loading/resizing instances). Drain-style
+     * failure semantics: the memory ledger stays consistent, so the
+     * run remains deterministic.
+     */
+    void failNode(NodeId node);
+    /** Reopen a failed node for placement. */
+    void restoreNode(NodeId node);
+    /**
+     * Append a new model to the fleet mid-run; returns its id. The
+     * caller supplies the initial O_bar estimate (Session derives it
+     * from the scenario dataset).
+     */
+    ModelId deployModel(const ModelSpec &spec, double initialAvgOutput);
+    /**
+     * Roll out a new version of `model` in place: evict its in-flight
+     * requests (they re-queue) and unload its instances, so subsequent
+     * requests cold-start fresh instances.
+     */
+    void redeployModel(ModelId model);
+    /**
+     * Retire `model`: drop its queued and in-flight requests and
+     * unload its instances; nothing of this model places afterwards.
+     * (Cancelling its future arrivals is the Session's half.)
+     */
+    void retireModel(ModelId model);
+
+    /** Queued (pending dispatch) requests per model, including parked
+     *  PD decode transfers — Session::sample's queue-depth view. */
+    std::vector<std::size_t> pendingPerModel() const;
 
     const ControllerConfig &config() const { return cfg_; }
     const std::vector<ModelEntry> &models() const { return models_; }
@@ -128,6 +166,14 @@ class ControllerBase
     virtual void doUnload(Instance *inst) = 0;
     /** Hook invoked after a request completes on `inst`. */
     virtual void onRequestDoneHook(Request *req, Instance *inst);
+    /** Hook invoked after deployModel registered model `m`. */
+    virtual void onModelDeployed(ModelId m);
+    /**
+     * Drain hook: abort `inst`'s cold-start load if it is still parked
+     * in the reservation station (it never held memory, so the
+     * instance retires immediately). Default: no station, false.
+     */
+    virtual bool tryAbortParkedLoad(Instance *inst);
 
     // --- shared mechanics -------------------------------------------
     TokenScheduler &schedulerFor(Partition *part);
@@ -155,6 +201,32 @@ class ControllerBase
 
     void queueRequest(Request *req);
     void retryPending();
+    /** Terminate a request as dropped (cancelling its drop timer). */
+    void dropRequest(Request *req);
+    /** Recompute-style eviction: take `req` off `inst` and re-queue
+     *  it with a migration mark (the next host re-prefills). */
+    void requeueEvicted(Request *req, Instance *inst);
+    /**
+     * Take every request off `inst` (prefill queue and decode batch).
+     * Evicted requests re-queue with a migration mark (recompute
+     * semantics, as the consolidator does); with `drop` they terminate
+     * as drops instead (model retirement).
+     */
+    void evictAllRequests(Instance *inst, bool drop);
+    /** Origin bits for Instance::draining (who fenced it). */
+    static constexpr unsigned kDrainNodeFail = 1u;
+    static constexpr unsigned kDrainInstanceSet = 2u;
+    /**
+     * Drain one instance for an intervention: evict its requests, then
+     * unload it if its memory ops have settled. Returns false when the
+     * instance needs a later sweep (an executing load or resize) —
+     * marking it draining with `reasonBit` until then.
+     */
+    bool settleInstance(Instance *inst, bool drop, unsigned reasonBit);
+    /** Sweep a fenced node until every resident is unloaded. */
+    void drainNodeInstances(Node *node);
+    /** Sweep a captured instance set (redeploy/retire) to unload. */
+    void drainInstanceSet(std::vector<Instance *> insts, bool drop);
     void requestDone(Request *req, Instance *inst);
     void evictLongestHeadroom(Instance *inst);
     bool takeAfterPrefill(Request *req, Instance *inst);
@@ -281,6 +353,8 @@ class SlinferController : public ControllerBase
     void handleKvShortage(Instance *inst) override;
     void doUnload(Instance *inst) override;
     void onRequestDoneHook(Request *req, Instance *inst) override;
+    void onModelDeployed(ModelId m) override;
+    bool tryAbortParkedLoad(Instance *inst) override;
 
   private:
     friend class Consolidator;

@@ -314,6 +314,28 @@ MemorySubsystem::tryEmergencyGrow(Instance &inst, double avgOut)
                                         : GrowResult::Sufficient;
 }
 
+bool
+MemorySubsystem::abortParkedLoad(Instance &inst)
+{
+    if (inst.memResident)
+        return false; // the load executed; an unload must release it
+    for (auto it = station_.begin(); it != station_.end(); ++it) {
+        if (it->kind != OpKind::Load || it->inst != &inst)
+            continue;
+        // The load never executed: nothing is physically held, but the
+        // instance still counts toward the optimistic budget.
+        if (index_)
+            index_->onInstanceUnloading(inst);
+        inst.state = InstanceState::Reclaimed;
+        inst.reclaimedAt = sim_.now();
+        if (index_)
+            index_->onInstanceReclaimed(inst);
+        station_.erase(it);
+        return true;
+    }
+    return false;
+}
+
 void
 MemorySubsystem::drainStation()
 {

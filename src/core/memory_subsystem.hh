@@ -40,6 +40,7 @@
 #include <deque>
 #include <functional>
 #include <set>
+#include <vector>
 
 #include "core/cluster_index.hh"
 #include "engine/instance.hh"
@@ -155,6 +156,16 @@ class MemorySubsystem
      * longest-headroom request so the instance keeps making progress.
      */
     GrowResult tryEmergencyGrow(Instance &inst, double avgOut);
+
+    /**
+     * Intervention hook (drain sweeps): abort `inst`'s cold-start load
+     * if it is still parked in the reservation station. A parked load
+     * never held memory, so the instance retires directly (Loading →
+     * Reclaimed with no unload latency); executing ops are untouched
+     * and settle normally. Returns true when a parked load was
+     * aborted — the caller must then unregister the instance.
+     */
+    bool abortParkedLoad(Instance &inst);
 
     /** Reservation-station occupancy (observability for tests). */
     std::size_t parkedOps() const { return station_.size(); }

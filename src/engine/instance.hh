@@ -48,6 +48,16 @@ class Instance
 
     InstanceState state = InstanceState::Loading;
     InstanceRole role = InstanceRole::Unified;
+    /**
+     * Nonzero while an intervention drain (node failure, redeploy,
+     * retirement) waits for an executing memory op before unloading.
+     * Admission paths skip draining instances so the drain sweep
+     * never races new placements. A bitmask of the controller's
+     * kDrain* origin bits rather than a bool: a node restore clears
+     * only the node-failure bit, so an instance a concurrent
+     * redeploy/retire sweep is draining stays fenced.
+     */
+    unsigned draining = 0;
 
     /** Admitted requests whose prefill has not run yet. */
     std::vector<Request *> prefillQueue;

@@ -14,7 +14,7 @@ Partition::Partition(NodeId node_, int index_, HardwareSpec spec_)
 bool
 Partition::openForPlacement() const
 {
-    return exclusiveHolder == nullptr;
+    return exclusiveHolder == nullptr && !failed;
 }
 
 Bytes
@@ -43,6 +43,23 @@ Node::Node(NodeId id, const HardwareSpec &spec, int numPartitions)
         parts_.push_back(std::make_unique<Partition>(
             id, i, scaledPartition(spec, frac)));
     }
+}
+
+bool
+Node::failed() const
+{
+    for (const auto &p : parts_) {
+        if (p->failed)
+            return true;
+    }
+    return false;
+}
+
+void
+Node::setFailed(bool failed)
+{
+    for (auto &p : parts_)
+        p->failed = failed;
 }
 
 bool

@@ -42,6 +42,12 @@ struct Partition
     Instance *exclusiveHolder = nullptr;
     /** True while an iteration is executing on this partition. */
     bool busy = false;
+    /**
+     * Fenced by a node-failure intervention: closed for placement and
+     * absent from the free-capacity index until restored
+     * (ControllerBase::failNode / restoreNode).
+     */
+    bool failed = false;
 
     /**
      * Running optimistic budget: weights + committed KV target of
@@ -90,6 +96,12 @@ class Node
 
     /** True if any partition hosts a live instance. */
     bool inUse() const;
+
+    /** True while fenced by a node-failure intervention. */
+    bool failed() const;
+    /** Fence / reopen every partition (index updates are the
+     *  controller's job; see ControllerBase::failNode). */
+    void setFailed(bool failed);
 
     /** Physical bytes used across partitions. */
     Bytes memUsed() const;

@@ -1,11 +1,9 @@
 #include "harness/experiment.hh"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
-#include "metrics/cluster_stats.hh"
-#include "metrics/recorder.hh"
+#include "harness/session.hh"
 
 namespace slinfer
 {
@@ -39,136 +37,75 @@ replicateModel(const ModelSpec &spec, int count)
     return models;
 }
 
-/**
- * Resolve the arrival source and the metrics window: the duration
- * stamped by the generator (or arrival process) is authoritative, and
- * an explicitly configured cfg.duration must agree with it.
- */
-static AzureTrace
-resolveTrace(const ExperimentConfig &cfg, Seconds &duration)
+void
+ExperimentConfig::validate() const
 {
-    if (cfg.arrivals && !cfg.trace.arrivals.empty())
-        fatal("runExperiment: both `arrivals` and `trace` are set");
+    if (models.empty())
+        fatal("ExperimentConfig: no models configured");
+    if (arrivals && !trace.arrivals.empty())
+        fatal("ExperimentConfig: both `arrivals` and `trace` are set");
 
-    AzureTrace trace =
-        cfg.arrivals ? cfg.arrivals->generate(cfg.seed) : cfg.trace;
-
-    duration = trace.duration;
-    if (cfg.duration > 0) {
-        if (duration > 0 && std::abs(cfg.duration - duration) > 1e-9)
-            fatal("runExperiment: cfg.duration disagrees with the trace "
-                  "duration; the trace/scenario is the source of truth");
-        duration = cfg.duration;
+    // The duration stamped by the arrival process / trace generator is
+    // authoritative; an explicitly configured duration must agree.
+    Seconds stamped = arrivals ? arrivals->duration() : trace.duration;
+    if (duration > 0 && stamped > 0 &&
+        std::abs(duration - stamped) > 1e-9) {
+        fatal("ExperimentConfig: `duration` disagrees with the trace "
+              "duration; the trace/scenario is the source of truth");
     }
-    if (duration <= 0)
-        fatal("runExperiment: no duration configured");
-    return trace;
-}
+    if (duration <= 0 && stamped <= 0)
+        fatal("ExperimentConfig: no duration configured");
 
-/** Per-model length samplers (cfg.datasetPerModel overrides). */
-static std::vector<Dataset>
-resolveDatasets(const ExperimentConfig &cfg)
-{
-    std::vector<Dataset> datasets;
-    if (cfg.datasetPerModel.empty()) {
-        datasets.assign(cfg.models.size(), Dataset(cfg.dataset));
-    } else {
-        if (cfg.datasetPerModel.size() != cfg.models.size())
-            fatal("runExperiment: datasetPerModel must have one entry "
-                  "per model");
-        for (DatasetKind kind : cfg.datasetPerModel)
-            datasets.emplace_back(kind);
+    if (!datasetPerModel.empty() && datasetPerModel.size() != models.size())
+        fatal("ExperimentConfig: datasetPerModel must have one entry "
+              "per model");
+    if (windows < 0)
+        fatal("ExperimentConfig: negative `windows`");
+
+    for (const Intervention &iv : timeline) {
+        std::string name = interventionKindName(iv.kind);
+        if (iv.at < 0)
+            fatal("ExperimentConfig: timeline '" + name +
+                  "' scheduled before t=0");
+        switch (iv.kind) {
+          case Intervention::Kind::NodeFail:
+          case Intervention::Kind::NodeRestore:
+            if (iv.node < 0)
+                fatal("ExperimentConfig: timeline '" + name +
+                      "' needs `node`");
+            break;
+          case Intervention::Kind::ModelRedeploy:
+          case Intervention::Kind::ModelRetire:
+          case Intervention::Kind::ArrivalBurst:
+            if (iv.model < 0)
+                fatal("ExperimentConfig: timeline '" + name +
+                      "' needs `model`");
+            break;
+          case Intervention::Kind::ModelDeploy:
+            if (iv.spec.name.empty())
+                fatal("ExperimentConfig: timeline 'model-deploy' needs "
+                      "`spec`");
+            break;
+          case Intervention::Kind::ArrivalScale:
+            if (iv.factor < 0)
+                fatal("ExperimentConfig: timeline 'arrival-scale' "
+                      "needs a nonnegative `factor`");
+            break;
+        }
+        if (iv.kind == Intervention::Kind::ArrivalBurst &&
+            (iv.rpm <= 0 || iv.duration <= 0)) {
+            fatal("ExperimentConfig: timeline 'arrival-burst' needs "
+                  "positive `rpm` and `duration`");
+        }
     }
-    return datasets;
 }
 
 Report
 runExperiment(const ExperimentConfig &cfg)
 {
-    if (cfg.models.empty())
-        fatal("runExperiment: no models configured");
-
-    Seconds duration = 0.0;
-    AzureTrace trace = resolveTrace(cfg, duration);
-
-    Simulator sim;
-    auto nodes = buildCluster(cfg.cluster, systemPartitions(cfg.system));
-    Recorder recorder;
-    ClusterStats stats(sim, nodes);
-    stats.start(duration);
-
-    std::vector<Dataset> datasets = resolveDatasets(cfg);
-    Rng len_rng = Rng(cfg.seed).fork(0x1E46);
-
-    // Materialize requests from the trace + dataset into one reserved
-    // block. The vector never grows afterwards, so &req stays stable
-    // for the arrival lambdas below, and the arena, recorder and
-    // request storage together make the steady-state run allocation-
-    // free per event.
-    std::vector<Request> requests;
-    requests.reserve(trace.arrivals.size());
-    recorder.reserve(trace.arrivals.size());
-    sim.reserveEvents(trace.arrivals.size() + 1024);
-    RequestId next_id = 1;
-    for (const Arrival &a : trace.arrivals) {
-        if (a.model >= cfg.models.size())
-            fatal("runExperiment: trace references unknown model");
-        const ModelSpec &spec = cfg.models[a.model];
-        LengthSample len = datasets[a.model].sample(len_rng);
-        Request req;
-        req.id = next_id++;
-        req.model = a.model;
-        req.arrival = a.time;
-        req.inputLen =
-            std::clamp<Tokens>(len.input, 1, spec.maxContext - 64);
-        req.targetOutput = std::clamp<Tokens>(
-            len.output, 1, spec.maxContext - req.inputLen - 1);
-        req.ttftSlo = cfg.controller.slo.ttft(req.inputLen);
-        req.tpotSlo = cfg.controller.slo.tpot;
-        requests.push_back(req);
-    }
-
-    std::vector<double> avg_out(cfg.models.size());
-    for (std::size_t m = 0; m < cfg.models.size(); ++m)
-        avg_out[m] = datasets[m].meanOutput();
-    ControllerConfig ctl_cfg = cfg.controller;
-    ctl_cfg.seed = cfg.seed;
-    auto controller =
-        makeSystem(cfg.system, sim, nodes, cfg.models, avg_out, ctl_cfg,
-                   recorder, &stats);
-
-    for (Request &req : requests) {
-        sim.scheduleAt(req.arrival,
-                       [&controller, &req] { controller->submit(&req); });
-    }
-
-    // Periodically sample KV utilization and scaling overhead while the
-    // run is live (Fig. 31).
-    struct KvSampling
-    {
-        double sum = 0.0;
-        std::size_t n = 0;
-    };
-    auto kv_sampling = std::make_shared<KvSampling>();
-    std::function<void()> sample_kv = [&, kv_sampling]() {
-        double u = controller->kvUtilizationNow();
-        if (u > 0) {
-            kv_sampling->sum += u;
-            ++kv_sampling->n;
-        }
-        if (sim.now() + 2.0 <= duration)
-            sim.schedule(2.0, sample_kv);
-    };
-    sim.schedule(1.0, sample_kv);
-
-    sim.run();
-
-    Report report = Report::build(systemName(cfg.system), recorder, stats,
-                                  cfg.ttftCdfPoints);
-    report.kvUtilization =
-        kv_sampling->n ? kv_sampling->sum / kv_sampling->n : 0.0;
-    report.scalingOverhead = controller->scalingOverheadFraction();
-    return report;
+    Session session(cfg);
+    session.advanceTo(session.duration());
+    return session.finish();
 }
 
 } // namespace slinfer

@@ -1,13 +1,17 @@
 /**
  * @file
- * Experiment driver: builds a cluster, materializes a request stream
- * from a trace plus a length dataset, runs one serving system to
- * completion, and gathers the Report the benches print.
+ * Experiment configuration and the one-shot driver.
+ *
+ * ExperimentConfig declares everything one serving experiment needs;
+ * Session (harness/session.hh) is the lifecycle that runs it, and
+ * runExperiment() is the batch convenience wrapper (create → advance
+ * to the metrics window's end → finish) every bench and test uses.
  */
 
 #ifndef SLINFER_HARNESS_EXPERIMENT_HH
 #define SLINFER_HARNESS_EXPERIMENT_HH
 
+#include "harness/intervention.hh"
 #include "harness/systems.hh"
 #include "metrics/report.hh"
 #include "scenario/arrival.hh"
@@ -57,13 +61,39 @@ struct ExperimentConfig
     std::uint64_t seed = 123;
     /** TTFT CDF sample points for the report. */
     std::vector<double> ttftCdfPoints = {0.25, 0.5, 1, 2, 3, 4, 5, 6};
+    /**
+     * Scripted mid-run interventions, applied at their `at` stamps
+     * (harness/intervention.hh). Empty for a plain run.
+     */
+    Timeline timeline;
+    /**
+     * Split the metrics window into this many equal report windows
+     * (Report::windows gains per-window TTFT/throughput rows). 0 (the
+     * default) disables windowing and leaves the report unchanged.
+     */
+    int windows = 0;
+
+    /**
+     * Check the configuration for conflicts before any state is
+     * built, one fatal() per conflict: models present, `arrivals` vs
+     * `trace` exclusivity, `duration` agreement with the stamped
+     * trace/process duration (the trace/scenario is the source of
+     * truth), per-model dataset arity, and timeline well-formedness.
+     * Session::create runs this up front, so a bad config can no
+     * longer die mid-build with partial cluster state.
+     */
+    void validate() const;
 };
 
 /** Build `count` nodes of each spec (ids: CPUs first). */
 std::vector<std::unique_ptr<Node>>
 buildCluster(const ClusterSpec &cluster, int partitionsPerNode);
 
-/** Run the experiment to completion and summarize. */
+/**
+ * Run the experiment to completion and summarize. A thin wrapper over
+ * the Session lifecycle (harness/session.hh): create, advance to the
+ * metrics window's end, finish.
+ */
 Report runExperiment(const ExperimentConfig &cfg);
 
 /** Convenience: n replicas of one model spec. */

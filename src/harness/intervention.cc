@@ -1,0 +1,39 @@
+#include "harness/intervention.hh"
+
+namespace slinfer
+{
+
+const char *
+interventionKindName(Intervention::Kind kind)
+{
+    switch (kind) {
+      case Intervention::Kind::NodeFail: return "node-fail";
+      case Intervention::Kind::NodeRestore: return "node-restore";
+      case Intervention::Kind::ModelDeploy: return "model-deploy";
+      case Intervention::Kind::ModelRedeploy: return "model-redeploy";
+      case Intervention::Kind::ModelRetire: return "model-retire";
+      case Intervention::Kind::ArrivalScale: return "arrival-scale";
+      case Intervention::Kind::ArrivalBurst: return "arrival-burst";
+    }
+    return "?";
+}
+
+bool
+tryParseInterventionKind(const std::string &name, Intervention::Kind &out)
+{
+    static const Intervention::Kind kinds[] = {
+        Intervention::Kind::NodeFail,     Intervention::Kind::NodeRestore,
+        Intervention::Kind::ModelDeploy,  Intervention::Kind::ModelRedeploy,
+        Intervention::Kind::ModelRetire,  Intervention::Kind::ArrivalScale,
+        Intervention::Kind::ArrivalBurst,
+    };
+    for (Intervention::Kind kind : kinds) {
+        if (name == interventionKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace slinfer

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Mid-run interventions: scripted or programmatic mutations a Session
+ * applies to a live experiment (harness/session.hh).
+ *
+ * An Intervention is plain data. The Session routes each kind to the
+ * right layer when it fires: node failure/restore and model
+ * deploy/redeploy/retire go through the ControllerBase intervention
+ * hooks (core/controller.hh), arrival scaling and bursts mutate the
+ * Session's own arrival schedule. A time-stamped list of interventions
+ * forms a *timeline*; ExperimentConfig carries one so scenarios can
+ * embed scripted fault/deploy/surge sequences (parse one from JSON
+ * with scenario::parseTimeline, or pass `--timeline file.json` to
+ * slinfer_run).
+ */
+
+#ifndef SLINFER_HARNESS_INTERVENTION_HH
+#define SLINFER_HARNESS_INTERVENTION_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/model_spec.hh"
+
+namespace slinfer
+{
+
+struct Intervention
+{
+    enum class Kind
+    {
+        /** Fence a node: its partitions stop accepting placements,
+         *  in-flight requests migrate off, residents unload. */
+        NodeFail,
+        /** Reopen a failed node for placement. */
+        NodeRestore,
+        /** Append `spec` to the fleet as a new model id. */
+        ModelDeploy,
+        /** Roll out a new version of model `model` in place: drain its
+         *  instances so subsequent requests cold-start fresh ones. */
+        ModelRedeploy,
+        /** Retire model `model`: cancel its future arrivals, drop its
+         *  in-flight requests, unload its instances. */
+        ModelRetire,
+        /** Scale all future arrivals by `factor` (thin below 1,
+         *  clone above 1); `model` >= 0 restricts to one model. */
+        ArrivalScale,
+        /** Inject a Poisson burst of `rpm` requests/minute for
+         *  `model`, lasting `duration` seconds. */
+        ArrivalBurst,
+    };
+
+    Kind kind = Kind::NodeFail;
+    /** Fire time (timeline use; Session::inject applies at now()). */
+    Seconds at = 0.0;
+    /** Target node (NodeFail / NodeRestore). */
+    int node = -1;
+    /** Target model (ModelRedeploy / ModelRetire / ArrivalBurst;
+     *  optional filter for ArrivalScale). */
+    int model = -1;
+    /** Deployed model (ModelDeploy). */
+    ModelSpec spec;
+    /** Arrival multiplier (ArrivalScale). */
+    double factor = 1.0;
+    /** Burst rate, requests/minute (ArrivalBurst). */
+    double rpm = 0.0;
+    /** Burst length, seconds (ArrivalBurst). */
+    Seconds duration = 0.0;
+};
+
+/** Timeline slug of the kind ("node-fail", "model-redeploy", ...). */
+const char *interventionKindName(Intervention::Kind kind);
+
+/** Parse a timeline slug; false on unknown names. */
+bool tryParseInterventionKind(const std::string &name,
+                              Intervention::Kind &out);
+
+/** A scripted intervention sequence, ordered by `at`. */
+using Timeline = std::vector<Intervention>;
+
+} // namespace slinfer
+
+#endif // SLINFER_HARNESS_INTERVENTION_HH

@@ -1,0 +1,327 @@
+#include "harness/session.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+// --------------------------------------------------------------------
+// Construction
+// --------------------------------------------------------------------
+
+Session::Session(const ExperimentConfig &cfg)
+    : cfg_(cfg), ivRng_(Rng(cfg.seed).fork(0xA11CE))
+{
+    cfg_.validate();
+
+    // The legacy pre-materialized trace moves out of our config copy
+    // (nothing reads cfg_.trace after this) instead of being copied a
+    // second time and kept alive for the whole session.
+    AzureTrace trace = cfg_.arrivals ? cfg_.arrivals->generate(cfg_.seed)
+                                     : std::move(cfg_.trace);
+    duration_ = trace.duration;
+    if (cfg_.duration > 0)
+        duration_ = cfg_.duration; // agreement checked by validate()
+
+    cluster_.nodes =
+        buildCluster(cfg_.cluster, systemPartitions(cfg_.system));
+    stats_ = std::make_unique<ClusterStats>(sim_, cluster_.nodes);
+    cluster_.stats = stats_.get();
+    if (cfg_.windows > 0)
+        recorder_.enableWindows(duration_, cfg_.windows);
+    stats_->start(duration_);
+
+    if (cfg_.datasetPerModel.empty()) {
+        datasets_.assign(cfg_.models.size(), Dataset(cfg_.dataset));
+    } else {
+        for (DatasetKind kind : cfg_.datasetPerModel)
+            datasets_.emplace_back(kind);
+    }
+
+    // Materialize requests from the trace + dataset into one reserved
+    // block. The vector never grows afterwards, so &req stays stable
+    // for the arrival lambdas below, and the arena, recorder and
+    // request storage together make the steady-state run allocation-
+    // free per event.
+    Rng len_rng = Rng(cfg_.seed).fork(0x1E46);
+    requests_.reserve(trace.arrivals.size());
+    arrivalEvents_.reserve(trace.arrivals.size());
+    recorder_.reserve(trace.arrivals.size());
+    sim_.reserveEvents(trace.arrivals.size() + 1024);
+    for (const Arrival &a : trace.arrivals) {
+        if (a.model >= cfg_.models.size())
+            fatal("Session: trace references unknown model");
+        requests_.push_back(materializeRequest(a.model,
+                                               cfg_.models[a.model],
+                                               a.time, len_rng));
+    }
+
+    std::vector<double> avg_out(cfg_.models.size());
+    for (std::size_t m = 0; m < cfg_.models.size(); ++m)
+        avg_out[m] = datasets_[m].meanOutput();
+    ControllerConfig ctl_cfg = cfg_.controller;
+    ctl_cfg.seed = cfg_.seed;
+    controller_ = makeSystem(cfg_.system, sim_, cluster_, cfg_.models,
+                             avg_out, ctl_cfg, recorder_);
+
+    for (Request &req : requests_) {
+        arrivalEvents_.push_back(sim_.scheduleAt(
+            req.arrival, [this, &req] { controller_->submit(&req); }));
+    }
+
+    // Periodically sample KV utilization while the run is live
+    // (Fig. 31); the timeline arms last so interventions at time T run
+    // after the ordinary events scheduled for T at creation.
+    sim_.schedule(1.0, [this] { sampleKv(); });
+    for (const Intervention &iv : cfg_.timeline)
+        sim_.scheduleAt(iv.at, [this, iv] { applyIntervention(iv); });
+}
+
+Session::~Session() = default;
+
+std::unique_ptr<Session>
+Session::create(const ExperimentConfig &cfg)
+{
+    return std::make_unique<Session>(cfg);
+}
+
+Request
+Session::materializeRequest(ModelId model, const ModelSpec &spec,
+                            Seconds at, Rng &lenRng)
+{
+    LengthSample len = datasets_[model].sample(lenRng);
+    Request req;
+    req.id = nextId_++;
+    req.model = model;
+    req.arrival = at;
+    req.inputLen = std::clamp<Tokens>(len.input, 1, spec.maxContext - 64);
+    req.targetOutput = std::clamp<Tokens>(
+        len.output, 1, spec.maxContext - req.inputLen - 1);
+    req.ttftSlo = cfg_.controller.slo.ttft(req.inputLen);
+    req.tpotSlo = cfg_.controller.slo.tpot;
+    return req;
+}
+
+void
+Session::sampleKv()
+{
+    double u = controller_->kvUtilizationNow();
+    if (u > 0) {
+        kvSampling_.sum += u;
+        ++kvSampling_.n;
+    }
+    if (sim_.now() + 2.0 <= duration_)
+        sim_.schedule(2.0, [this] { sampleKv(); });
+}
+
+// --------------------------------------------------------------------
+// Lifecycle
+// --------------------------------------------------------------------
+
+Seconds
+Session::now() const
+{
+    return sim_.now();
+}
+
+void
+Session::advanceTo(Seconds t)
+{
+    if (finished_)
+        fatal("Session::advanceTo after finish()");
+    if (t < sim_.now())
+        fatal("Session::advanceTo into the past");
+    sim_.runUntil(t);
+}
+
+void
+Session::advanceBy(Seconds dt)
+{
+    if (dt < 0)
+        fatal("Session::advanceBy with negative delta");
+    advanceTo(sim_.now() + dt);
+}
+
+Report
+Session::finish()
+{
+    if (finished_)
+        fatal("Session::finish called twice");
+    // Drain: requests admitted inside the window complete past its
+    // end, exactly as the one-shot driver always ran them.
+    sim_.run();
+    finished_ = true;
+
+    Report report = Report::build(systemName(cfg_.system), recorder_,
+                                  *stats_, cfg_.ttftCdfPoints);
+    report.kvUtilization =
+        kvSampling_.n ? kvSampling_.sum / kvSampling_.n : 0.0;
+    report.scalingOverhead = controller_->scalingOverheadFraction();
+    return report;
+}
+
+MetricsView
+Session::sample() const
+{
+    MetricsView v;
+    v.time = sim_.now();
+    v.arrived = recorder_.total();
+    v.completed = recorder_.completed();
+    v.dropped = recorder_.dropped();
+    v.inFlight = v.arrived - v.completed - v.dropped;
+    v.queueDepthPerModel = controller_->pendingPerModel();
+    const ClusterIndex &index = controller_->clusterIndex();
+    v.instancesLive = index.activeInstances().size();
+    v.instancesCreated = controller_->instancesCreated();
+    v.kvUtilization = controller_->kvUtilizationNow();
+    v.busySecondsCpu = index.busySeconds(HwKind::Cpu);
+    v.busySecondsGpu = index.busySeconds(HwKind::Gpu);
+    v.scalingOverhead = index.scalingOverheadFraction(sim_.now());
+    return v;
+}
+
+// --------------------------------------------------------------------
+// Interventions
+// --------------------------------------------------------------------
+
+void
+Session::inject(const Intervention &iv)
+{
+    if (finished_)
+        fatal("Session::inject after finish()");
+    applyIntervention(iv);
+}
+
+ModelId
+Session::checkedModel(const Intervention &iv) const
+{
+    if (iv.model < 0 ||
+        static_cast<std::size_t>(iv.model) >= controller_->models().size())
+        fatal(std::string("Session: intervention '") +
+              interventionKindName(iv.kind) + "' references unknown model " +
+              std::to_string(iv.model));
+    return static_cast<ModelId>(iv.model);
+}
+
+void
+Session::applyIntervention(const Intervention &iv)
+{
+    switch (iv.kind) {
+      case Intervention::Kind::NodeFail:
+        controller_->failNode(static_cast<NodeId>(iv.node));
+        break;
+      case Intervention::Kind::NodeRestore:
+        controller_->restoreNode(static_cast<NodeId>(iv.node));
+        break;
+      case Intervention::Kind::ModelDeploy: {
+        // The deployed model samples lengths from the scenario's
+        // shared dataset; its arrivals come from later bursts.
+        datasets_.emplace_back(cfg_.dataset);
+        controller_->deployModel(iv.spec, datasets_.back().meanOutput());
+        break;
+      }
+      case Intervention::Kind::ModelRedeploy:
+        controller_->redeployModel(checkedModel(iv));
+        break;
+      case Intervention::Kind::ModelRetire: {
+        ModelId m = checkedModel(iv);
+        cancelFutureArrivals(m);
+        controller_->retireModel(m);
+        break;
+      }
+      case Intervention::Kind::ArrivalScale:
+        if (iv.model >= 0)
+            checkedModel(iv); // a typo'd filter must not silently no-op
+        scaleArrivals(iv.factor, iv.model);
+        break;
+      case Intervention::Kind::ArrivalBurst:
+        injectBurst(checkedModel(iv), iv.rpm, iv.duration);
+        break;
+    }
+}
+
+void
+Session::addExtraArrival(ModelId model, Seconds t)
+{
+    const ModelSpec &spec = controller_->models()[model].spec;
+    extra_.push_back(materializeRequest(model, spec, t, ivRng_));
+    Request *req = &extra_.back();
+    extraEvents_.push_back(sim_.scheduleAt(
+        t, [this, req] { controller_->submit(req); }));
+}
+
+void
+Session::cancelFutureArrivals(ModelId model)
+{
+    // pending() is definitive: fired and already-cancelled arrivals
+    // are skipped, everything still scheduled is revoked.
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+        if (requests_[i].model == model && arrivalEvents_[i].pending())
+            arrivalEvents_[i].cancel();
+    }
+    for (std::size_t i = 0; i < extra_.size(); ++i) {
+        if (extra_[i].model == model && extraEvents_[i].pending())
+            extraEvents_[i].cancel();
+    }
+}
+
+void
+Session::scaleArrivals(double factor, int modelFilter)
+{
+    if (factor == 1.0)
+        return;
+    // Snapshot the injected-arrival count: clones appended during the
+    // walk must not themselves be rescaled.
+    const std::size_t n_req = requests_.size();
+    const std::size_t n_extra = extra_.size();
+
+    auto scaleOne = [&](Request &req, EventHandle &ev) {
+        if (!ev.pending())
+            return; // already fired, cancelled or thinned away
+        if (modelFilter >= 0 &&
+            req.model != static_cast<ModelId>(modelFilter))
+            return;
+        if (factor < 1.0) {
+            if (ivRng_.uniform() >= factor)
+                ev.cancel();
+            return;
+        }
+        // factor > 1: clone the arrival, jittered up to 1 s later so
+        // copies do not land as simultaneous duplicates.
+        double surplus = factor - 1.0;
+        int clones = static_cast<int>(surplus);
+        if (ivRng_.uniform() < surplus - clones)
+            ++clones;
+        for (int c = 0; c < clones; ++c) {
+            Seconds t = std::min<Seconds>(req.arrival +
+                                              ivRng_.uniform(),
+                                          duration_);
+            addExtraArrival(req.model, t);
+        }
+    };
+    for (std::size_t i = 0; i < n_req; ++i)
+        scaleOne(requests_[i], arrivalEvents_[i]);
+    for (std::size_t i = 0; i < n_extra; ++i)
+        scaleOne(extra_[i], extraEvents_[i]);
+}
+
+void
+Session::injectBurst(ModelId model, double rpm, Seconds burstLen)
+{
+    if (rpm <= 0 || burstLen <= 0)
+        return;
+    double rate = rpm / 60.0;
+    Seconds end = std::min(sim_.now() + burstLen, duration_);
+    Seconds t = sim_.now();
+    for (;;) {
+        t += ivRng_.exponential(rate);
+        if (t >= end)
+            break;
+        addExtraArrival(model, t);
+    }
+}
+
+} // namespace slinfer

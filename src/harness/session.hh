@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The stepwise run lifecycle: slinfer::Session.
+ *
+ * A Session is one live experiment with an explicit lifecycle, in
+ * place of the old configure-then-run-to-completion shape:
+ *
+ *   Session s(cfg);            // validate, build cluster + stream
+ *   s.advanceTo(300.0);        // step the simulation (runUntil)
+ *   MetricsView v = s.sample(); // observe the run in flight
+ *   s.inject(iv);              // mutate it (node fail, deploy, ...)
+ *   s.advanceTo(s.duration());
+ *   Report r = s.finish();     // drain + the same Report as before
+ *
+ * Stepping is pure observation: a run advanced in any number of steps
+ * executes the exact event sequence of a single run-to-completion, so
+ * reports are byte-identical however the caller slices the clock (the
+ * determinism contract in docs/ARCHITECTURE.md). Interventions
+ * (harness/intervention.hh) are the one way to perturb a run mid
+ * flight: node failure/restore and model deploy/redeploy/retire route
+ * through the ControllerBase hooks; arrival scaling and bursts edit
+ * the Session's own arrival schedule. A config-embedded Timeline
+ * applies interventions at scripted times without any manual
+ * stepping — that is how slinfer_run --timeline and the fault/deploy
+ * catalog scenarios work.
+ *
+ * runExperiment (harness/experiment.hh) is now a thin wrapper:
+ * create → advanceTo(duration()) → finish().
+ */
+
+#ifndef SLINFER_HARNESS_SESSION_HH
+#define SLINFER_HARNESS_SESSION_HH
+
+#include <deque>
+#include <memory>
+
+#include "harness/experiment.hh"
+
+namespace slinfer
+{
+
+/**
+ * A consistent snapshot of the live run at sample() time, read off
+ * the recorder and the controller's incremental cluster indices
+ * (core/cluster_index.hh) — sampling never perturbs the run.
+ */
+struct MetricsView
+{
+    /** Simulated time of the snapshot. */
+    Seconds time = 0.0;
+
+    /** Requests submitted so far. */
+    std::size_t arrived = 0;
+    std::size_t completed = 0;
+    std::size_t dropped = 0;
+    /** Submitted but neither completed nor dropped. */
+    std::size_t inFlight = 0;
+
+    /** Queued (pending dispatch) requests per model id. */
+    std::vector<std::size_t> queueDepthPerModel;
+
+    /** Active instances right now / ever created. */
+    std::size_t instancesLive = 0;
+    std::size_t instancesCreated = 0;
+
+    /** Mean KV allocation utilization across live instances. */
+    double kvUtilization = 0.0;
+    /** Running busy-seconds aggregates per hardware kind. */
+    double busySecondsCpu = 0.0;
+    double busySecondsGpu = 0.0;
+    /** Running scaling-overhead fraction (O(1) index form). */
+    double scalingOverhead = 0.0;
+};
+
+class Session
+{
+  public:
+    /** Validate `cfg`, build the cluster and the request stream, and
+     *  arm the timeline. No simulated time passes until an advance. */
+    explicit Session(const ExperimentConfig &cfg);
+    ~Session();
+
+    /** Self-referencing event callbacks pin the address. */
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Heap-allocating convenience constructor. */
+    static std::unique_ptr<Session> create(const ExperimentConfig &cfg);
+
+    /** Current simulated time. */
+    Seconds now() const;
+
+    /** The metrics window (stamped by the trace/arrival process). */
+    Seconds duration() const { return duration_; }
+
+    /** Run every event with time <= `t`, then set the clock to `t`.
+     *  Fatal when `t` is in the past or the session is finished. */
+    void advanceTo(Seconds t);
+
+    /** advanceTo(now() + dt). */
+    void advanceBy(Seconds dt);
+
+    /** Apply an intervention right now (its `at` stamp is ignored). */
+    void inject(const Intervention &iv);
+
+    /** Snapshot the live run (read-only; never perturbs it). */
+    MetricsView sample() const;
+
+    /** Drain the remaining events (completions past the metrics
+     *  window) and build the Report. Callable once. */
+    Report finish();
+
+    bool finished() const { return finished_; }
+
+    /** The live serving system (tests / observability). */
+    ControllerBase &controller() { return *controller_; }
+    const ControllerBase &controller() const { return *controller_; }
+
+  private:
+    void applyIntervention(const Intervention &iv);
+    Request materializeRequest(ModelId model, const ModelSpec &spec,
+                               Seconds at, Rng &lenRng);
+    /** Materialize + schedule an injected arrival at time `t`. */
+    void addExtraArrival(ModelId model, Seconds t);
+    ModelId checkedModel(const Intervention &iv) const;
+    void cancelFutureArrivals(ModelId model);
+    void scaleArrivals(double factor, int modelFilter);
+    void injectBurst(ModelId model, double rpm, Seconds burstLen);
+    void sampleKv();
+
+    ExperimentConfig cfg_;
+    Seconds duration_ = 0.0;
+    Simulator sim_;
+    ClusterHandle cluster_;
+    Recorder recorder_;
+    std::unique_ptr<ClusterStats> stats_;
+    std::vector<Dataset> datasets_;
+
+    /** Trace requests, one reserved block: &req stays stable for the
+     *  arrival events (exactly the old runExperiment contract). */
+    std::vector<Request> requests_;
+    /** Arrival events, 1:1 with requests_ — cancellable by
+     *  retire/thinning interventions. */
+    std::vector<EventHandle> arrivalEvents_;
+    /** Injected arrivals (scale-up clones, bursts): deque so grown
+     *  entries never move. */
+    std::deque<Request> extra_;
+    std::deque<EventHandle> extraEvents_;
+
+    std::unique_ptr<ControllerBase> controller_;
+    /** Intervention randomness (thinning, clones, burst gaps), forked
+     *  from the config seed — untouched runs never draw from it. */
+    Rng ivRng_;
+    RequestId nextId_ = 1;
+
+    struct KvSampling
+    {
+        double sum = 0.0;
+        std::size_t n = 0;
+    };
+    KvSampling kvSampling_;
+    bool finished_ = false;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_HARNESS_SESSION_HH

@@ -96,12 +96,13 @@ systemPartitions(SystemKind kind)
 }
 
 std::unique_ptr<ControllerBase>
-makeSystem(SystemKind kind, Simulator &sim,
-           std::vector<std::unique_ptr<Node>> &nodes,
+makeSystem(SystemKind kind, Simulator &sim, ClusterHandle &cluster,
            std::vector<ModelSpec> modelSpecs,
            std::vector<double> initialAvgOutput, ControllerConfig cfg,
-           Recorder &recorder, ClusterStats *stats)
+           Recorder &recorder)
 {
+    std::vector<std::unique_ptr<Node>> &nodes = cluster.nodes;
+    ClusterStats *stats = cluster.stats;
     switch (kind) {
       case SystemKind::Sllm: {
         SllmOptions opts;

@@ -11,9 +11,23 @@
 #include <vector>
 
 #include "core/controller.hh"
+#include "metrics/cluster_stats.hh"
 
 namespace slinfer
 {
+
+/**
+ * Owning bundle of one experiment's physical cluster: the node vector
+ * plus the (optional, non-owning) stats collector sampling it. The
+ * Session, the benches and the tests all construct a serving system
+ * through this one handle instead of threading the node vector and a
+ * separate stats out-parameter through every call.
+ */
+struct ClusterHandle
+{
+    std::vector<std::unique_ptr<Node>> nodes;
+    ClusterStats *stats = nullptr;
+};
 
 enum class SystemKind
 {
@@ -48,11 +62,10 @@ int systemPartitions(SystemKind kind);
 
 /** Build the controller for `kind`, adjusting cfg flags accordingly. */
 std::unique_ptr<ControllerBase>
-makeSystem(SystemKind kind, Simulator &sim,
-           std::vector<std::unique_ptr<Node>> &nodes,
+makeSystem(SystemKind kind, Simulator &sim, ClusterHandle &cluster,
            std::vector<ModelSpec> modelSpecs,
            std::vector<double> initialAvgOutput, ControllerConfig cfg,
-           Recorder &recorder, ClusterStats *stats);
+           Recorder &recorder);
 
 } // namespace slinfer
 

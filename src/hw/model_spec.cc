@@ -137,6 +137,30 @@ quantized(ModelSpec base, int bits)
     return base;
 }
 
+bool
+tryModelPreset(const std::string &name, ModelSpec &out)
+{
+    struct Preset
+    {
+        const char *slug;
+        ModelSpec (*make)();
+    };
+    static const Preset presets[] = {
+        {"llama32-3b", llama32_3b},   {"llama2-7b", llama2_7b},
+        {"llama31-8b", llama31_8b},   {"llama2-13b", llama2_13b},
+        {"codestral-22b", codestral_22b},
+        {"codellama-34b", codellama_34b},
+    };
+    for (const Preset &p : presets) {
+        ModelSpec spec = p.make();
+        if (name == p.slug || name == spec.name) {
+            out = std::move(spec);
+            return true;
+        }
+    }
+    return false;
+}
+
 const char *
 modelClassName(ModelClass klass)
 {

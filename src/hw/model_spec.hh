@@ -72,6 +72,13 @@ ModelSpec codellama_34b();
 /** Derive an INT4-quantized variant (weights shrink 4x; KV unchanged). */
 ModelSpec quantized(ModelSpec base, int bits);
 
+/**
+ * Look up a built-in preset by display name ("Llama-2-7B") or kebab
+ * slug ("llama2-7b"); false on unknown names. Timeline `model-deploy`
+ * entries name their spec this way.
+ */
+bool tryModelPreset(const std::string &name, ModelSpec &out);
+
 /** Short human name of a model class (for tables). */
 const char *modelClassName(ModelClass klass);
 

@@ -1,27 +1,46 @@
 #include "metrics/recorder.hh"
 
+#include <algorithm>
+
 namespace slinfer
 {
 
 void
+Recorder::enableWindows(Seconds duration, int n)
+{
+    if (duration <= 0 || n <= 0)
+        return;
+    windows_.assign(static_cast<std::size_t>(n), WindowStats{});
+    windowSpan_ = duration / n;
+}
+
+std::size_t
+Recorder::windowAt(Seconds t) const
+{
+    std::size_t i = static_cast<std::size_t>(t / windowSpan_);
+    return std::min(i, windows_.size() - 1);
+}
+
+void
 Recorder::onArrival(const Request &req)
 {
-    (void)req;
     ++total_;
+    if (!windows_.empty())
+        ++windows_[windowAt(req.arrival)].arrived;
 }
 
 void
 Recorder::onDrop(const Request &req, Seconds now)
 {
     (void)req;
-    (void)now;
     ++dropped_;
+    if (!windows_.empty())
+        ++windows_[windowAt(now)].dropped;
 }
 
 void
 Recorder::onComplete(const Request &req, Seconds now)
 {
-    (void)now;
     ++completed_;
     generatedTokens_ += req.generated;
     if (!req.sloViolated)
@@ -30,6 +49,13 @@ Recorder::onComplete(const Request &req, Seconds now)
         ttft_.add(req.firstTokenTime - req.arrival);
     if (req.migrations > 0)
         ++migrated_;
+    if (!windows_.empty()) {
+        WindowStats &w = windows_[windowAt(now)];
+        ++w.completed;
+        w.generatedTokens += req.generated;
+        if (req.firstTokenTime >= 0)
+            w.ttft.add(req.firstTokenTime - req.arrival);
+    }
 }
 
 double

@@ -19,6 +19,16 @@ class Recorder
     /** Pre-size sample buffers for an experiment of `n` requests. */
     void reserve(std::size_t n) { ttft_.reserve(n); }
 
+    /**
+     * Per-window accounting over `n` equal slices of [0, duration):
+     * arrivals bucket by arrival time, completions/drops (and the
+     * completions' TTFT samples and generated tokens) by event time;
+     * events past the window clamp into the last slice. Off (and the
+     * run byte-identical to an unwindowed one) unless enabled before
+     * the first event.
+     */
+    void enableWindows(Seconds duration, int n);
+
     void onArrival(const Request &req);
     void onDrop(const Request &req, Seconds now);
     void onComplete(const Request &req, Seconds now);
@@ -41,7 +51,23 @@ class Recorder
     std::size_t migratedRequests() const { return migrated_; }
     double migrationRate() const;
 
+    /** Per-window accumulators (empty unless enableWindows ran). */
+    struct WindowStats
+    {
+        std::size_t arrived = 0;
+        std::size_t completed = 0;
+        std::size_t dropped = 0;
+        Tokens generatedTokens = 0;
+        CdfBuilder ttft;
+    };
+    const std::vector<WindowStats> &windows() const { return windows_; }
+    Seconds windowSpan() const { return windowSpan_; }
+
   private:
+    std::size_t windowAt(Seconds t) const;
+
+    std::vector<WindowStats> windows_;
+    Seconds windowSpan_ = 0.0;
     std::size_t total_ = 0;
     std::size_t completed_ = 0;
     std::size_t dropped_ = 0;

@@ -71,6 +71,23 @@ Report::build(const std::string &system, const Recorder &rec,
     r.batchMean = stats.batchCdf().mean();
     r.migrationRate = rec.migrationRate();
     r.gpuTimeline = stats.gpuTimeline();
+
+    Seconds span = rec.windowSpan();
+    for (std::size_t i = 0; i < rec.windows().size(); ++i) {
+        const Recorder::WindowStats &w = rec.windows()[i];
+        Report::Window row;
+        row.start = span * static_cast<double>(i);
+        row.end = span * static_cast<double>(i + 1);
+        row.arrived = w.arrived;
+        row.completed = w.completed;
+        row.dropped = w.dropped;
+        row.p50Ttft = w.ttft.percentile(50.0);
+        row.p95Ttft = w.ttft.percentile(95.0);
+        row.completedPerSec = static_cast<double>(w.completed) / span;
+        row.tokensPerSec =
+            static_cast<double>(w.generatedTokens) / span;
+        r.windows.push_back(row);
+    }
     return r;
 }
 
@@ -129,8 +146,25 @@ emitJson(const Report &r, const char *nl, const char *indent,
         os << (i ? ", " : "") << "[" << r.gpuTimeline[i].first << ", "
            << r.gpuTimeline[i].second << "]";
     }
-    os << "]" << nl;
-    os << "}";
+    os << "]";
+    // Windowed rows only when the run was windowed, so unwindowed
+    // reports stay byte-identical to the pre-window format.
+    if (!r.windows.empty()) {
+        os << "," << nl << indent << "\"windows\": [";
+        for (std::size_t i = 0; i < r.windows.size(); ++i) {
+            const Report::Window &w = r.windows[i];
+            os << (i ? ", " : "") << "{\"start\": " << w.start
+               << ", \"end\": " << w.end << ", \"arrived\": " << w.arrived
+               << ", \"completed\": " << w.completed
+               << ", \"dropped\": " << w.dropped
+               << ", \"p50_ttft\": " << w.p50Ttft
+               << ", \"p95_ttft\": " << w.p95Ttft
+               << ", \"completed_per_sec\": " << w.completedPerSec
+               << ", \"tokens_per_sec\": " << w.tokensPerSec << "}";
+        }
+        os << "]";
+    }
+    os << nl << "}";
     return os.str();
 }
 
@@ -158,6 +192,29 @@ reportCsvHeader()
            "decode_speed_cpu,decode_speed_gpu,p50_ttft,p95_ttft,"
            "gpu_mem_util_mean,batch_mean,migration_rate,"
            "kv_utilization,scaling_overhead";
+}
+
+std::string
+reportWindowsCsvHeader()
+{
+    return "system,scenario,seed,window,start,end,arrived,completed,"
+           "dropped,p50_ttft,p95_ttft,completed_per_sec,tokens_per_sec";
+}
+
+std::string
+toWindowsCsvRows(const Report &r)
+{
+    std::ostringstream os;
+    os.precision(10);
+    for (std::size_t i = 0; i < r.windows.size(); ++i) {
+        const Report::Window &w = r.windows[i];
+        os << csvField(r.system) << ',' << csvField(r.scenario) << ','
+           << r.seed << ',' << i << ',' << w.start << ',' << w.end << ','
+           << w.arrived << ',' << w.completed << ',' << w.dropped << ','
+           << w.p50Ttft << ',' << w.p95Ttft << ',' << w.completedPerSec
+           << ',' << w.tokensPerSec << '\n';
+    }
+    return os.str();
 }
 
 std::string

@@ -56,6 +56,25 @@ struct Report
     /** (time, GPUs in use) timeline (Fig. 23). */
     std::vector<std::pair<Seconds, double>> gpuTimeline;
 
+    /** One slice of the metrics window (ExperimentConfig::windows). */
+    struct Window
+    {
+        Seconds start = 0.0;
+        Seconds end = 0.0;
+        std::size_t arrived = 0;
+        std::size_t completed = 0;
+        std::size_t dropped = 0;
+        double p50Ttft = 0.0;
+        double p95Ttft = 0.0;
+        /** Completions per second inside the window. */
+        double completedPerSec = 0.0;
+        /** Generated tokens per second inside the window. */
+        double tokensPerSec = 0.0;
+    };
+    /** Per-window TTFT/throughput rows; empty unless the run was
+     *  windowed (plain reports stay byte-identical). */
+    std::vector<Window> windows;
+
     /** Build the summary from the two collectors. */
     static Report build(const std::string &system, const Recorder &rec,
                         const ClusterStats &stats,
@@ -78,6 +97,13 @@ reportScalarMetrics(const Report &report);
 
 /** Header line matching toCsvRow (scalar fields only). */
 std::string reportCsvHeader();
+
+/** Header line matching toWindowsCsvRows. */
+std::string reportWindowsCsvHeader();
+
+/** One CSV row per report window (empty string when unwindowed);
+ *  rows carry system/scenario/seed so the table self-identifies. */
+std::string toWindowsCsvRows(const Report &report);
 
 /** One CSV row of the report's scalar fields. String fields are
  *  RFC-4180-quoted when they contain commas/quotes/newlines. */

@@ -6,7 +6,8 @@
  * datasets, cluster and SLO. The first entries mirror the paper's
  * Azure-serverless evaluation; the rest are the what-if loads the
  * ROADMAP asks for (steady state, diurnal cycles, flash crowds,
- * ramp/step transitions, multi-tenant Zipf mixes, long-context hubs).
+ * ramp/step transitions, multi-tenant Zipf mixes, long-context hubs,
+ * and the timeline-driven fault/deploy/surge family at the bottom).
  * Add new scenarios here; tests/test_scenario.cc checks every entry's
  * determinism, rate calibration and registry round-trip automatically.
  */
@@ -330,6 +331,98 @@ fleetDiurnalSurge()
     return sc;
 }
 
+// ------------------------------------------------------------------
+// Timeline-driven scenarios: the Session lifecycle's scripted
+// interventions (harness/intervention.hh) expressed as catalog
+// entries — node failures, rolling deploys and arrival surges that a
+// config-then-run-to-completion driver could not describe.
+// ------------------------------------------------------------------
+
+Intervention
+at(Seconds when, Intervention::Kind kind)
+{
+    Intervention iv;
+    iv.at = when;
+    iv.kind = kind;
+    return iv;
+}
+
+Scenario
+fleetNodeFailure()
+{
+    Scenario sc;
+    sc.name = "fleet-node-failure";
+    sc.summary = "steady Poisson fleet losing a GPU node at 300 s "
+                 "(restored at 600 s)";
+    PoissonConfig pc;
+    pc.numModels = 32;
+    pc.duration = 900.0;
+    pc.aggregateRpm = 80.0;
+    sc.arrivals = makePoisson(pc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 3;
+    sc.cluster.gpuNodes = 3;
+    // Node ids: CPUs first, so node 4 is the middle GPU node.
+    Intervention failGpu = at(300.0, Intervention::Kind::NodeFail);
+    failGpu.node = 4;
+    Intervention restoreGpu = at(600.0, Intervention::Kind::NodeRestore);
+    restoreGpu.node = 4;
+    sc.timeline = {failGpu, restoreGpu};
+    return sc;
+}
+
+Scenario
+fleetRollingDeploy()
+{
+    Scenario sc;
+    sc.name = "fleet-rolling-deploy";
+    sc.summary = "rolling redeploy wave: one model drained and "
+                 "cold-restarted every 60 s from t=300";
+    PoissonConfig pc;
+    pc.numModels = 32;
+    pc.duration = 1800.0;
+    pc.aggregateRpm = 80.0;
+    sc.arrivals = makePoisson(pc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 3;
+    sc.cluster.gpuNodes = 3;
+    for (int m = 0; m < 8; ++m) {
+        Intervention roll =
+            at(300.0 + 60.0 * m, Intervention::Kind::ModelRedeploy);
+        roll.model = m;
+        sc.timeline.push_back(roll);
+    }
+    return sc;
+}
+
+Scenario
+fleetSurgeScale()
+{
+    Scenario sc;
+    sc.name = "fleet-surge-scale";
+    sc.summary = "arrival rate doubles at 600 s with a hot-model burst "
+                 "on top, then halves back at 1200 s";
+    PoissonConfig pc;
+    pc.numModels = 32;
+    pc.duration = 1800.0;
+    pc.aggregateRpm = 60.0;
+    pc.split.zipfS = 1.05;
+    sc.arrivals = makePoisson(pc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 3;
+    sc.cluster.gpuNodes = 3;
+    Intervention up = at(600.0, Intervention::Kind::ArrivalScale);
+    up.factor = 2.0;
+    Intervention burst = at(900.0, Intervention::Kind::ArrivalBurst);
+    burst.model = 0;
+    burst.rpm = 90.0;
+    burst.duration = 120.0;
+    Intervention down = at(1200.0, Intervention::Kind::ArrivalScale);
+    down.factor = 0.5;
+    sc.timeline = {up, burst, down};
+    return sc;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -342,6 +435,7 @@ all()
         mixedFleet(),   burstGptSteady(), longContextHub(),
         tightSloFlash(), fleet640(),   fleet6400(),
         fleetDiurnalSurge(),
+        fleetNodeFailure(), fleetRollingDeploy(), fleetSurgeScale(),
     };
     return catalog;
 }

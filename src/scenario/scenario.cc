@@ -28,6 +28,7 @@ Scenario::toExperiment(SystemKind system, std::uint64_t seed_) const
     cfg.datasetPerModel = datasetPerModel;
     cfg.duration = 0.0; // inherit: the scenario is the source of truth
     cfg.controller = controller;
+    cfg.timeline = timeline;
     cfg.seed = seed_;
     return cfg;
 }

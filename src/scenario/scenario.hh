@@ -46,6 +46,13 @@ struct Scenario
     /** Controller knobs; controller.slo is the scenario's SLO. */
     ControllerConfig controller;
 
+    /**
+     * Scripted mid-run interventions the Session applies at their
+     * stamps (harness/intervention.hh): node failures, rolling
+     * deploys, arrival surges. Empty for a plain scenario.
+     */
+    Timeline timeline;
+
     /** Default seed (slinfer_run --seed overrides). */
     std::uint64_t seed = 5;
 

@@ -1,0 +1,98 @@
+#include "scenario/timeline.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sweep/json.hh"
+
+namespace slinfer
+{
+namespace scenario
+{
+
+namespace
+{
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+bool
+parseEntry(const sweep::JsonValue &v, std::size_t index, Intervention &iv,
+           std::string *err)
+{
+    std::string where = "timeline[" + std::to_string(index) + "]";
+    if (!v.isObject())
+        return fail(err, where + ": expected an object");
+
+    std::string kind = v.string("kind");
+    if (kind.empty())
+        return fail(err, where + ": missing \"kind\"");
+    if (!tryParseInterventionKind(kind, iv.kind))
+        return fail(err, where + ": unknown kind '" + kind + "'");
+
+    const sweep::JsonValue *at = v.find("at");
+    if (!at || !at->isNumber())
+        return fail(err, where + ": missing numeric \"at\"");
+    iv.at = at->number;
+
+    iv.node = static_cast<int>(v.num("node", -1));
+    iv.model = static_cast<int>(v.num("model", -1));
+    iv.factor = v.num("factor", 1.0);
+    iv.rpm = v.num("rpm", 0.0);
+    iv.duration = v.num("duration", 0.0);
+
+    std::string spec = v.string("spec");
+    if (!spec.empty() && !tryModelPreset(spec, iv.spec))
+        return fail(err, where + ": unknown model preset '" + spec + "'");
+    if (iv.kind == Intervention::Kind::ModelDeploy && spec.empty())
+        return fail(err, where + ": model-deploy needs \"spec\"");
+    return true;
+}
+
+} // namespace
+
+bool
+parseTimeline(const std::string &text, Timeline &out, std::string *err)
+{
+    sweep::JsonValue doc;
+    if (!parseJson(text, doc, err))
+        return false;
+    const sweep::JsonValue *list = &doc;
+    if (doc.isObject()) {
+        list = doc.find("timeline");
+        if (!list)
+            return fail(err, "no \"timeline\" member in the document");
+    }
+    if (!list->isArray())
+        return fail(err, "timeline must be a JSON array");
+
+    Timeline parsed;
+    parsed.reserve(list->array.size());
+    for (std::size_t i = 0; i < list->array.size(); ++i) {
+        Intervention iv;
+        if (!parseEntry(list->array[i], i, iv, err))
+            return false;
+        parsed.push_back(std::move(iv));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+bool
+loadTimelineFile(const std::string &path, Timeline &out, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in)
+        return fail(err, "cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseTimeline(buf.str(), out, err);
+}
+
+} // namespace scenario
+} // namespace slinfer

@@ -25,6 +25,31 @@ TEST(Systems, NamesAndPartitions)
     EXPECT_EQ(systemPartitions(SystemKind::Sllm), 1);
 }
 
+TEST(Systems, SlugAndNameRoundTripOverAllSystems)
+{
+    for (SystemKind kind : allSystems()) {
+        SCOPED_TRACE(systemSlug(kind));
+        // Both the CLI slug and the display name parse back.
+        EXPECT_EQ(parseSystem(systemSlug(kind)), kind);
+        EXPECT_EQ(parseSystem(systemName(kind)), kind);
+        SystemKind out;
+        ASSERT_TRUE(tryParseSystem(systemSlug(kind), out));
+        EXPECT_EQ(out, kind);
+        ASSERT_TRUE(tryParseSystem(systemName(kind), out));
+        EXPECT_EQ(out, kind);
+        // Slugs are CLI-safe: nonempty, no spaces, no uppercase.
+        std::string slug = systemSlug(kind);
+        EXPECT_FALSE(slug.empty());
+        for (char c : slug) {
+            EXPECT_NE(c, ' ');
+            EXPECT_FALSE(c >= 'A' && c <= 'Z');
+        }
+    }
+    SystemKind out;
+    EXPECT_FALSE(tryParseSystem("no-such-system", out));
+    EXPECT_DEATH(parseSystem("no-such-system"), "unknown system");
+}
+
 TEST(Harness, BuildClusterLayout)
 {
     ClusterSpec spec;

@@ -163,7 +163,10 @@ TEST_P(MemorySafety, NoSystemEverOoms)
 
     // Rebuild runExperiment inline to keep access to the nodes.
     Simulator sim;
-    auto nodes = buildCluster(cfg.cluster, systemPartitions(cfg.system));
+    ClusterHandle cluster{buildCluster(cfg.cluster,
+                                       systemPartitions(cfg.system)),
+                          nullptr};
+    auto &nodes = cluster.nodes;
     Recorder recorder;
     Dataset dataset(cfg.dataset);
     Rng len_rng = Rng(cfg.seed).fork(0x1E46);
@@ -185,8 +188,8 @@ TEST_P(MemorySafety, NoSystemEverOoms)
         requests.push_back(req);
     }
     std::vector<double> avg(cfg.models.size(), dataset.meanOutput());
-    auto controller = makeSystem(cfg.system, sim, nodes, cfg.models, avg,
-                                 cfg.controller, recorder, nullptr);
+    auto controller = makeSystem(cfg.system, sim, cluster, cfg.models,
+                                 avg, cfg.controller, recorder);
     for (Request &req : requests) {
         sim.scheduleAt(req.arrival,
                        [&controller, &req] { controller->submit(&req); });

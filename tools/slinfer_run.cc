@@ -11,6 +11,8 @@
  *   slinfer_run --scenario=diurnal-cycle --seeds=1,2,3 --format=csv
  *   slinfer_run --scenario=ramp-up --sweep=5 --out=ramp.json
  *   slinfer_run --scenario=quickstart,poisson-steady --format=csv
+ *   slinfer_run --scenario=poisson-steady --timeline=faults.json
+ *   slinfer_run --scenario=quickstart --windows=6
  *
  * Multi-scenario invocations emit the CSV header exactly once; --quiet
  * silences per-run logging for sweep-driven use. (For grids, parallel
@@ -27,6 +29,7 @@
 
 #include "common/log.hh"
 #include "scenario/scenario.hh"
+#include "scenario/timeline.hh"
 #include "sweep/sweep.hh"
 
 using namespace slinfer;
@@ -48,6 +51,9 @@ usage(std::FILE *to)
         "  --seed=<n>             seed override (default: scenario's)\n"
         "  --seeds=<a,b,c|a..b>   run one experiment per seed\n"
         "  --sweep=<n>            shorthand for seeds base..base+n-1\n"
+        "  --timeline=<file.json> scripted interventions overriding the\n"
+        "                         scenario's own timeline\n"
+        "  --windows=<n>          per-window TTFT/throughput rows\n"
         "  --format=json|csv      output format (default: json)\n"
         "  --out=<path>           write the report there instead of "
         "stdout\n"
@@ -68,9 +74,10 @@ listCatalog()
     std::printf("\n");
 }
 
-/** Parse a nonnegative integer; exits on malformed input. */
+/** Parse a nonnegative integer; exits naming the flag on malformed
+ *  input. */
 std::uint64_t
-parseSeed(const std::string &tok)
+parseCount(const std::string &tok, const char *flag)
 {
     char *end = nullptr;
     errno = 0;
@@ -79,7 +86,8 @@ parseSeed(const std::string &tok)
     // overflow (ERANGE); reject both.
     if (tok.empty() || tok[0] == '-' || errno == ERANGE ||
         end != tok.c_str() + tok.size()) {
-        std::fprintf(stderr, "malformed seed '%s'\n", tok.c_str());
+        std::fprintf(stderr, "%s: malformed value '%s'\n", flag,
+                     tok.c_str());
         std::exit(2);
     }
     return v;
@@ -95,6 +103,8 @@ main(int argc, char **argv)
     std::string format = "json";
     std::string out_path;
     std::vector<std::uint64_t> seeds;
+    std::string timeline_path;
+    int windows = 0;
     int sweep = 0;
     bool list = false;
     bool quiet = false;
@@ -118,7 +128,7 @@ main(int argc, char **argv)
         } else if (arg.rfind("--system=", 0) == 0) {
             system_name = value();
         } else if (arg.rfind("--seed=", 0) == 0) {
-            seed = parseSeed(value());
+            seed = parseCount(value(), "--seed");
             seed_set = true;
         } else if (arg.rfind("--seeds=", 0) == 0) {
             // Same grammar as slinfer_sweep: "a,b,c" or a range "a..b".
@@ -128,13 +138,22 @@ main(int argc, char **argv)
                 return 2;
             }
         } else if (arg.rfind("--sweep=", 0) == 0) {
-            std::uint64_t n = parseSeed(value());
+            std::uint64_t n = parseCount(value(), "--sweep");
             if (n == 0 || n > 10000) {
                 std::fprintf(stderr,
                              "--sweep must be in [1, 10000]\n");
                 return 2;
             }
             sweep = static_cast<int>(n);
+        } else if (arg.rfind("--timeline=", 0) == 0) {
+            timeline_path = value();
+        } else if (arg.rfind("--windows=", 0) == 0) {
+            std::uint64_t n = parseCount(value(), "--windows");
+            if (n == 0 || n > 10000) {
+                std::fprintf(stderr, "--windows must be in [1, 10000]\n");
+                return 2;
+            }
+            windows = static_cast<int>(n);
         } else if (arg.rfind("--format=", 0) == 0) {
             format = value();
         } else if (arg.rfind("--out=", 0) == 0) {
@@ -194,6 +213,17 @@ main(int argc, char **argv)
     }
     SystemKind system = parseSystem(system_name);
 
+    Timeline timeline;
+    bool timeline_set = false;
+    if (!timeline_path.empty()) {
+        std::string err;
+        if (!scenario::loadTimelineFile(timeline_path, timeline, &err)) {
+            std::fprintf(stderr, "--timeline: %s\n", err.c_str());
+            return 2;
+        }
+        timeline_set = true;
+    }
+
     std::vector<Report> reports;
     for (const scenario::Scenario *sc : scs) {
         std::vector<std::uint64_t> sc_seeds = seeds;
@@ -203,8 +233,16 @@ main(int argc, char **argv)
             for (int i = 0; i < n; ++i)
                 sc_seeds.push_back(base + static_cast<std::uint64_t>(i));
         }
-        for (std::uint64_t s : sc_seeds)
-            reports.push_back(scenario::runScenario(*sc, system, s));
+        for (std::uint64_t s : sc_seeds) {
+            ExperimentConfig cfg = sc->toExperiment(system, s);
+            if (timeline_set)
+                cfg.timeline = timeline;
+            cfg.windows = windows;
+            Report report = runExperiment(cfg);
+            report.scenario = sc->name;
+            report.seed = s;
+            reports.push_back(std::move(report));
+        }
     }
 
     std::ostringstream os;
@@ -214,6 +252,12 @@ main(int argc, char **argv)
         os << reportCsvHeader() << "\n";
         for (const Report &r : reports)
             os << toCsvRow(r) << "\n";
+        // Windowed runs append a second self-identifying table.
+        if (windows > 0) {
+            os << "\n" << reportWindowsCsvHeader() << "\n";
+            for (const Report &r : reports)
+                os << toWindowsCsvRows(r);
+        }
     } else if (reports.size() == 1) {
         os << toJson(reports[0]) << "\n";
     } else {
