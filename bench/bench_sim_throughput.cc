@@ -32,11 +32,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/table.hh"
+#include "obs/counters.hh"
 #include "scenario/scenario.hh"
 #include "sim/event_queue.hh"
 #include "sim/legacy_event_queue.hh"
@@ -76,12 +78,15 @@ wallSeconds(std::chrono::steady_clock::time_point t0)
  */
 template <typename Queue, typename Handle>
 double
-eventsPerSec(std::size_t total, std::size_t window)
+eventsPerSec(std::size_t total, std::size_t window,
+             const std::function<void(Queue &)> &setup = {})
 {
     constexpr std::size_t kRing = 64;
     constexpr std::size_t kCancelEvery = 512;
 
     Queue q;
+    if (setup)
+        setup(q);
     std::vector<Handle> ring(kRing);
     std::size_t ringHead = 0;
     std::size_t scheduled = 0;
@@ -127,11 +132,13 @@ eventsPerSec(std::size_t total, std::size_t window)
 
 template <typename Queue, typename Handle>
 double
-bestOf(int repeat, std::size_t total, std::size_t window)
+bestOf(int repeat, std::size_t total, std::size_t window,
+       const std::function<void(Queue &)> &setup = {})
 {
     double best = 0.0;
     for (int r = 0; r < repeat; ++r)
-        best = std::max(best, eventsPerSec<Queue, Handle>(total, window));
+        best = std::max(best,
+                        eventsPerSec<Queue, Handle>(total, window, setup));
     return best;
 }
 
@@ -211,6 +218,15 @@ main(int argc, char **argv)
         repeat, events, kFleetWindow);
     double speedup_fleet =
         legacy_fleet > 0 ? arena_fleet / legacy_fleet : 0.0;
+    // The flight-recorder point: the same arena program with hot-path
+    // counters attached (obs/counters.hh). `arena` above IS the
+    // tracing-off measurement; the ratio bounds what enabling
+    // --counters costs on the dispatch loop.
+    obs::Counters ctr;
+    double arena_counters = bestOf<EventQueue, EventHandle>(
+        repeat, events, kSteadyWindow,
+        [&ctr](EventQueue &q) { q.attachCounters(&ctr); });
+    double counters_ratio = arena > 0 ? arena_counters / arena : 0.0;
 
     const scenario::Scenario *sc = scenario::byName("azure-64");
     if (!sc)
@@ -230,6 +246,8 @@ main(int argc, char **argv)
     t.addRow({"fleet events/sec (legacy)",
               Table::num(legacy_fleet, 0)});
     t.addRow({"fleet speedup", Table::num(speedup_fleet, 2) + "x"});
+    t.addRow({"events/sec (counters on)", Table::num(arena_counters, 0)});
+    t.addRow({"counters-on/off ratio", Table::num(counters_ratio, 2) + "x"});
     t.addRow({"azure-64 wall (s)", Table::num(exp_wall, 3)});
     t.addRow({"azure-64 requests/sec", Table::num(req_per_sec, 0)});
     std::printf("sim hot-path throughput (%zu events, best of %d)\n",
@@ -248,6 +266,8 @@ main(int argc, char **argv)
         {"events_per_sec_fleet", point(arena_fleet)},
         {"events_per_sec_fleet_legacy", point(legacy_fleet)},
         {"speedup_vs_legacy_fleet", point(speedup_fleet)},
+        {"events_per_sec_counters", point(arena_counters)},
+        {"counters_on_off_ratio", point(counters_ratio)},
         {"exp_requests_per_sec", point(req_per_sec)},
     };
     std::vector<sweep::SummaryRow> rows = {row};
@@ -270,11 +290,14 @@ main(int argc, char **argv)
             "  \"events_per_sec_fleet\": %.0f,\n"
             "  \"events_per_sec_fleet_legacy\": %.0f,\n"
             "  \"speedup_vs_legacy_fleet\": %.2f,\n"
+            "  \"events_per_sec_counters\": %.0f,\n"
+            "  \"counters_on_off_ratio\": %.2f,\n"
             "  \"azure64_wall_s\": %.3f,\n"
             "  \"azure64_requests_per_sec\": %.0f\n"
             "}\n",
             events, repeat, arena, legacy, speedup, arena_fleet,
-            legacy_fleet, speedup_fleet, exp_wall, req_per_sec);
+            legacy_fleet, speedup_fleet, arena_counters, counters_ratio,
+            exp_wall, req_per_sec);
         if (!writeFile(json_path, buf))
             fatal("cannot write " + json_path);
     }
@@ -297,15 +320,19 @@ main(int argc, char **argv)
             fatal("bad baseline " + compare_path + ": " + err);
         sweep::CompareOptions opts;
         opts.tolerance = tolerance;
-        // Gate ONLY the arena/legacy speedup ratios: both queues run
-        // the same program in the same process, so the ratio is
+        // Gate ONLY same-process ratios: both sides of each ratio run
+        // the same program in the same process, so the number is
         // host-comparable, while absolute events/sec depends on the
         // host the baseline was recorded on and would flake on slower
         // CI runners. Absolute numbers are still recorded and shown
         // in the drift table of any baseline that carries them.
+        // counters_on_off_ratio guards the flight recorder's
+        // zero-overhead-when-off claim from the other side: attaching
+        // counters must not crater the dispatch loop.
         opts.metrics = {
             {"speedup_vs_legacy", true, 0.5},
             {"speedup_vs_legacy_fleet", true, 0.5},
+            {"counters_on_off_ratio", true, 0.5},
         };
         sweep::CompareResult res = sweep::compare(rows, base, opts);
         std::fputs(res.table.c_str(), stdout);

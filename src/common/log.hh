@@ -41,6 +41,28 @@ void setLogThreadTag(const std::string &tag);
 /** This thread's current tag ("" when unset). */
 const std::string &logThreadTag();
 
+/**
+ * RAII thread-tag scope: installs `tag` for this thread and restores
+ * the previous tag on destruction, on every exit path. Sweep workers
+ * wrap each job body in one so an idle worker's later messages never
+ * carry a stale job prefix.
+ */
+class LogTagScope
+{
+  public:
+    explicit LogTagScope(const std::string &tag) : prev_(logThreadTag())
+    {
+        setLogThreadTag(tag);
+    }
+    ~LogTagScope() { setLogThreadTag(prev_); }
+
+    LogTagScope(const LogTagScope &) = delete;
+    LogTagScope &operator=(const LogTagScope &) = delete;
+
+  private:
+    std::string prev_;
+};
+
 /** Emit a message at the given level (no-op if below the threshold). */
 void logMessage(LogLevel level, const std::string &msg);
 

@@ -35,9 +35,47 @@ ControllerBase::ControllerBase(Simulator &sim,
 }
 
 void
+ControllerBase::attachObs(obs::FlightRecorder *fr)
+{
+    if (!fr)
+        return;
+    ctr_ = fr->counters();
+    trace_ = fr->trace();
+    prof_ = fr->profiler();
+    if (!trace_)
+        return;
+    trace_->setProcessName(obs::kPidController, "controller");
+    trace_->setProcessName(obs::kPidCluster, "cluster");
+    for (std::size_t m = 0; m < models_.size(); ++m)
+        trace_->setProcessName(tracePid(static_cast<ModelId>(m)),
+                               "model " + std::to_string(m));
+    for (Partition *p : index_.partitions(true)) {
+        trace_->setThreadName(obs::kPidCluster,
+                              static_cast<int>(p->viewPos),
+                              "n" + std::to_string(p->node) + "/p" +
+                                  std::to_string(p->index));
+    }
+}
+
+void
+ControllerBase::traceRequestEnd(const Request *req)
+{
+    if (!trace_)
+        return;
+    trace_->asyncInstant(obs::kCatRequest, requestStateName(req->state),
+                         sim_.now(), tracePid(req->model), req->id);
+    trace_->asyncEnd(obs::kCatRequest, "request", sim_.now(),
+                     tracePid(req->model), req->id);
+}
+
+void
 ControllerBase::submit(Request *req)
 {
+    obs::ScopedPhase phase(prof_, obs::kPhaseControllerDecide);
     recorder_.onArrival(*req);
+    if (trace_)
+        trace_->asyncBegin(obs::kCatRequest, "request", sim_.now(),
+                           tracePid(req->model), req->id);
     if (models_[req->model].retired) {
         dropRequest(req);
         return;
@@ -91,6 +129,7 @@ ControllerBase::dropRequest(Request *req)
     }
     req->state = RequestState::Dropped;
     recorder_.onDrop(*req, sim_.now());
+    traceRequestEnd(req);
 }
 
 void
@@ -148,6 +187,11 @@ ControllerBase::drainNodeInstances(Node *node)
 {
     if (!node->failed())
         return; // restored while a sweep was pending; stop draining
+    obs::bump(ctr_, obs::kDrainSweeps);
+    if (trace_)
+        trace_->instant(obs::kCatController, "drain-node", sim_.now(),
+                        obs::kPidController, 0, "node",
+                        static_cast<double>(node->id()));
     bool unsettled = false;
     for (auto &part : node->partitions()) {
         // Copy: unloads and aborts mutate the resident list.
@@ -170,6 +214,11 @@ ControllerBase::drainNodeInstances(Node *node)
 void
 ControllerBase::drainInstanceSet(std::vector<Instance *> insts, bool drop)
 {
+    obs::bump(ctr_, obs::kDrainSweeps);
+    if (trace_)
+        trace_->instant(obs::kCatController, "drain-set", sim_.now(),
+                        obs::kPidController, 0, "instances",
+                        static_cast<double>(insts.size()));
     std::vector<Instance *> remaining;
     for (Instance *inst : insts) {
         if (inst->state == InstanceState::Unloading ||
@@ -232,6 +281,9 @@ ControllerBase::deployModel(const ModelSpec &spec, double initialAvgOutput)
     pendingDecode_.emplace_back();
     decodeDirty_.push_back(0);
     ModelId id = static_cast<ModelId>(models_.size() - 1);
+    if (trace_)
+        trace_->setProcessName(tracePid(id),
+                               "model " + std::to_string(id));
     onModelDeployed(id);
     return id;
 }
@@ -308,7 +360,7 @@ ControllerBase::schedulerFor(Partition *part)
     slot = std::make_unique<TokenScheduler>(
         sim_, *part, schedPolicy(), cfg_.noiseSigma,
         rng_.fork(0x5C4ED + part->node * 16 + part->index), std::move(cbs),
-        stats_, &index_);
+        stats_, &index_, trace_);
     return *slot;
 }
 
@@ -361,6 +413,11 @@ ControllerBase::startStaticLoad(Instance *inst)
     inst->memResident = true;
     inst->heldPrimaryBytes = footprint;
     inst->loadDuration = Loader::loadTime(inst->primary->spec, inst->model);
+    if (trace_)
+        trace_->complete(obs::kCatMemory, "load", sim_.now(),
+                         inst->loadDuration, obs::kPidCluster,
+                         static_cast<int>(inst->primary->viewPos),
+                         "instance", static_cast<double>(inst->id));
     sim_.schedule(inst->loadDuration, [this, inst] {
         inst->state = InstanceState::Active;
         inst->activeAt = sim_.now();
@@ -379,8 +436,15 @@ ControllerBase::unloadStatic(Instance *inst)
         index_.onInstanceDeactivated(*inst);
     inst->state = InstanceState::Unloading;
     markAllDecodeDirty();
+    Seconds unload_dur =
+        MemCostModel::weightUnloadTime(inst->primary->spec, inst->model);
+    if (trace_)
+        trace_->complete(obs::kCatMemory, "unload", sim_.now(),
+                         unload_dur, obs::kPidCluster,
+                         static_cast<int>(inst->primary->viewPos),
+                         "instance", static_cast<double>(inst->id));
     sim_.schedule(
-        MemCostModel::weightUnloadTime(inst->primary->spec, inst->model),
+        unload_dur,
         [this, inst] {
             inst->state = InstanceState::Reclaimed;
             inst->reclaimedAt = sim_.now();
@@ -447,6 +511,10 @@ ControllerBase::admitTo(Request *req, Instance *inst)
     }
     req->instance = inst->id;
     req->state = RequestState::Prefill;
+    if (trace_)
+        trace_->asyncInstant(obs::kCatRequest, "admit", sim_.now(),
+                             tracePid(req->model), req->id, "instance",
+                             static_cast<double>(inst->id));
     if (inst->state == InstanceState::Loading)
         req->grace = std::max(req->grace, inst->loadDuration);
     inst->prefillQueue.push_back(req);
@@ -463,6 +531,10 @@ ControllerBase::admitToDecode(Request *req, Instance *inst)
     req->kvReserved = need;
     req->instance = inst->id;
     req->state = RequestState::Decode;
+    if (trace_)
+        trace_->asyncInstant(obs::kCatRequest, "admit-decode", sim_.now(),
+                             tracePid(req->model), req->id, "instance",
+                             static_cast<double>(inst->id));
     inst->decodeBatch.push_back(req);
     kickPartition(inst->primary);
     return true;
@@ -472,6 +544,10 @@ void
 ControllerBase::queueRequest(Request *req)
 {
     pending_.push_back(req);
+    if (trace_)
+        trace_->asyncInstant(obs::kCatRequest,
+                             requestStateName(req->state), sim_.now(),
+                             tracePid(req->model), req->id);
     if (req->generated > 0)
         return; // re-queued mid-decode; never proactively dropped
     Seconds deadline = req->arrival + cfg_.slo.ttft(req->inputLen);
@@ -482,6 +558,7 @@ ControllerBase::queueRequest(Request *req)
         req->state = RequestState::Dropped;
         recorder_.onDrop(*req, sim_.now());
         dropEvents_.erase(req->id);
+        traceRequestEnd(req);
     });
 }
 
@@ -517,6 +594,8 @@ ControllerBase::retryPending()
         return;
     }
     inRetry_ = true;
+    obs::bump(ctr_, obs::kPendingWakeups);
+    obs::ScopedPhase phase(prof_, obs::kPhaseControllerDecide);
     do {
         retryAgain_ = false;
         // Cap the failed-dispatch work per retry round: under deep
@@ -582,6 +661,7 @@ ControllerBase::retryDecodePending()
     std::fill(decodeDirty_.begin(), decodeDirty_.end(), char(0));
     if (decodeRound_.empty())
         return;
+    obs::bump(ctr_, obs::kDecodeWakeups);
     std::sort(decodeRound_.begin(), decodeRound_.end());
     bool admitted = false;
     for (auto &entry : decodeRound_) {
@@ -608,6 +688,7 @@ ControllerBase::requestDone(Request *req, Instance *inst)
 {
     req->completionTime = sim_.now();
     recorder_.onComplete(*req, sim_.now());
+    traceRequestEnd(req);
     ModelEntry &me = models_[req->model];
     me.avgOutput = 0.85 * me.avgOutput +
                    0.15 * static_cast<double>(req->generated);
@@ -671,6 +752,11 @@ ControllerBase::takeAfterPrefill(Request *req, Instance *inst)
     req->state = RequestState::Transfer;
     Bytes kv_bytes = static_cast<Bytes>(req->contextLen()) *
                      inst->model.kvBytesPerToken();
+    if (trace_)
+        trace_->asyncInstant(obs::kCatRequest,
+                             requestStateName(req->state), sim_.now(),
+                             tracePid(req->model), req->id, "kv_bytes",
+                             static_cast<double>(kv_bytes));
     if (inst->loadSize() == 0 && inst->state == InstanceState::Active)
         scheduleKeepAlive(inst);
     markAllDecodeDirty();
@@ -829,7 +915,7 @@ SlinferController::subsystemFor(Partition *part)
             kickPartition(part);
             retryPending();
         },
-        &index_, cfg_.oracleScans);
+        &index_, cfg_.oracleScans, ctr_, trace_, prof_);
     return *slot;
 }
 
@@ -911,6 +997,7 @@ SlinferController::tryExistingInstances(Request *req)
         if (inst->execSpec.kind == HwKind::Cpu && !cpu_ok)
             continue;
         Partition *p = inst->primary;
+        obs::bump(ctr_, obs::kShadowRuns);
         if (!shadow_.canAdmit(*p, inst, *req, sim_.now(),
                               partBusyUntil(p))) {
             ++dispatchStats_.rejectShadow;
@@ -974,6 +1061,7 @@ SlinferController::placementCandidateOk(Partition *p, const Request &req,
     else
         return false;
     Seconds ready = sim_.now() + Loader::loadTime(p->spec, spec);
+    obs::bump(ctr_, obs::kShadowRuns);
     return shadow_.canAdmitNew(*p, spec, p->spec, req, sim_.now(),
                                partBusyUntil(p), ready);
 }
@@ -993,6 +1081,7 @@ SlinferController::PlacementChoice
 SlinferController::selectPlacement(const Request &req,
                                    const PlacementDemand &d)
 {
+    obs::bump(ctr_, obs::kPlacementProbes);
     auto tryKind = [&](HwKind kind) -> PlacementChoice {
         const auto &fs = index_.freeSet(kind);
         // Eligibility needs free >= weights + require + reserve; the
@@ -1000,6 +1089,7 @@ SlinferController::selectPlacement(const Request &req,
         // necessary bound and let canPlace reject the stragglers.
         ClusterIndex::FreeKey from{d.weights + d.require, 0};
         for (auto it = fs.lower_bound(from); it != fs.end(); ++it) {
+            obs::bump(ctr_, obs::kIndexWalkSteps);
             Partition *p = index_.partitionAt(it->second);
             Bytes kv_init = 0;
             if (placementCandidateOk(p, req, d, kv_init))
@@ -1090,6 +1180,10 @@ SlinferController::tryNewInstance(Request *req)
     ++dispatchStats_.admitNew;
 
     Partition *best = choice.part;
+    if (trace_)
+        trace_->instant(obs::kCatController, "place-new", sim_.now(),
+                        obs::kPidController, 0, "partition",
+                        static_cast<double>(best->viewPos));
     Instance *inst = makeInstance(req->model, best, best->spec,
                                   choice.kvInit,
                                   cfg_.pdDisaggregation

@@ -36,6 +36,7 @@
 #include "core/shadow_validator.hh"
 #include "core/token_scheduler.hh"
 #include "metrics/recorder.hh"
+#include "obs/obs.hh"
 
 namespace slinfer
 {
@@ -70,6 +71,15 @@ class ControllerBase
 
     /** Entry point: a request arrives. */
     void submit(Request *req);
+
+    /**
+     * Attach the Session's flight recorder (pre-run, before any event
+     * fires). Pulls out the nullable sinks the decision paths bump and
+     * registers the trace's track names (controller / per-partition
+     * cluster threads / per-model request tracks). Sinks are
+     * write-only: attaching them cannot change any decision.
+     */
+    void attachObs(obs::FlightRecorder *fr);
 
     // --- intervention hooks (Session::inject / timelines) -----------
     /**
@@ -287,6 +297,21 @@ class ControllerBase
     std::size_t evictions_ = 0;
     std::size_t preemptions_ = 0;
     DispatchStats dispatchStats_;
+
+    // Flight-recorder sinks (all nullable; null = off). Shared with
+    // the lazily created token schedulers and memory subsystems.
+    obs::Counters *ctr_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::PhaseProfiler *prof_ = nullptr;
+
+    /** Request-track pid for a model (trace grouping). */
+    static int
+    tracePid(ModelId model)
+    {
+        return obs::kPidModelBase + static_cast<int>(model);
+    }
+    /** Async end of a request span (complete or dropped). */
+    void traceRequestEnd(const Request *req);
 
   private:
     void retryDecodePending();

@@ -13,9 +13,13 @@ namespace slinfer
 MemorySubsystem::MemorySubsystem(Simulator &sim, Partition &partition,
                                  double watermark,
                                  std::function<void()> notify,
-                                 ClusterIndex *index, bool oracleScans)
+                                 ClusterIndex *index, bool oracleScans,
+                                 obs::Counters *ctr,
+                                 obs::TraceRecorder *trace,
+                                 obs::PhaseProfiler *prof)
     : sim_(sim), part_(partition), watermark_(watermark),
-      notify_(std::move(notify)), index_(index), oracle_(oracleScans)
+      notify_(std::move(notify)), index_(index), oracle_(oracleScans),
+      ctr_(ctr), trace_(trace), prof_(prof)
 {
 }
 
@@ -38,6 +42,7 @@ MemorySubsystem::committedScan() const
 void
 MemorySubsystem::setKvTarget(Instance &inst, Bytes target)
 {
+    obs::bump(ctr_, obs::kKvTargetChanges);
     if (index_)
         index_->onKvTargetChanged(inst, inst.kvTarget, target);
     inst.kvTarget = target;
@@ -116,6 +121,7 @@ void
 MemorySubsystem::issueResize(Instance &inst)
 {
     ++resizeOps_;
+    obs::bump(ctr_, obs::kKvResizeOps);
     if (!inst.memResident)
         return; // the pending load reads kvTarget when it executes
     if (inst.resizeInFlight || parkedResize_.count(inst.id))
@@ -130,6 +136,7 @@ MemorySubsystem::issueResize(Instance &inst)
 bool
 MemorySubsystem::tryExecute(Op &op)
 {
+    obs::ScopedPhase phase(prof_, obs::kPhaseMemoryOp);
     Instance &inst = *op.inst;
     if (op.kind == OpKind::Resize) {
         if (inst.state == InstanceState::Reclaimed ||
@@ -159,6 +166,11 @@ MemorySubsystem::tryExecute(Op &op)
         inst.resizeInFlight = true;
         Seconds dur =
             MemCostModel::kvResizeTime(part_.spec, old_alloc, target);
+        if (trace_)
+            trace_->complete(obs::kCatMemory, "kv-resize", sim_.now(),
+                             dur, obs::kPidCluster,
+                             static_cast<int>(part_.viewPos), "bytes",
+                             static_cast<double>(target));
         Seconds started = sim_.now();
         Bytes committed_target = target;
         sim_.schedule(dur, [this, &inst, old_alloc, committed_target,
@@ -179,6 +191,12 @@ MemorySubsystem::tryExecute(Op &op)
         panic("MemorySubsystem: load hold failed after check");
     inst.memResident = true;
     inst.kv.setAllocBytes(inst.kvTarget);
+    if (trace_)
+        trace_->complete(obs::kCatMemory, "load", sim_.now(),
+                         Loader::loadTime(part_.spec, inst.model),
+                         obs::kPidCluster,
+                         static_cast<int>(part_.viewPos), "instance",
+                         static_cast<double>(inst.id));
     sim_.schedule(Loader::loadTime(part_.spec, inst.model),
                   [this, &inst, done = std::move(op.done)]() mutable {
                       inst.state = InstanceState::Active;
@@ -225,6 +243,7 @@ MemorySubsystem::finishResize(Instance &inst, Bytes oldAlloc,
 void
 MemorySubsystem::beginLoad(Instance &inst, DoneFn loaded)
 {
+    obs::ScopedPhase phase(prof_, obs::kPhaseMemoryOp);
     inst.loadDuration = Loader::loadTime(part_.spec, inst.model);
     Op op{OpKind::Load, &inst, std::move(loaded)};
     if (!tryExecute(op))
@@ -234,6 +253,7 @@ MemorySubsystem::beginLoad(Instance &inst, DoneFn loaded)
 void
 MemorySubsystem::beginUnload(Instance &inst, DoneFn unloaded)
 {
+    obs::ScopedPhase phase(prof_, obs::kPhaseMemoryOp);
     if (inst.resizeInFlight)
         panic("MemorySubsystem: unload during resize");
     if (index_) {
@@ -244,6 +264,12 @@ MemorySubsystem::beginUnload(Instance &inst, DoneFn unloaded)
     inst.state = InstanceState::Unloading;
     parkedResize_.erase(inst.id);
     Bytes footprint = inst.model.weightBytes() + inst.kv.allocBytes();
+    if (trace_)
+        trace_->complete(
+            obs::kCatMemory, "unload", sim_.now(),
+            MemCostModel::weightUnloadTime(part_.spec, inst.model),
+            obs::kPidCluster, static_cast<int>(part_.viewPos),
+            "instance", static_cast<double>(inst.id));
     sim_.schedule(MemCostModel::weightUnloadTime(part_.spec, inst.model),
                   [this, &inst, footprint,
                    done = std::move(unloaded)]() mutable {
@@ -281,6 +307,7 @@ MemorySubsystem::onRequestComplete(Instance &inst, double avgOut)
 MemorySubsystem::GrowResult
 MemorySubsystem::tryEmergencyGrow(Instance &inst, double avgOut)
 {
+    obs::bump(ctr_, obs::kEmergencyGrows);
     Bytes require = requiredBytes(inst, nullptr, avgOut);
     Bytes usage_floor =
         (PagedKvCache::roundedTokens(inst.kv.usedTokens()) +
@@ -339,6 +366,7 @@ MemorySubsystem::abortParkedLoad(Instance &inst)
 void
 MemorySubsystem::drainStation()
 {
+    obs::ScopedPhase phase(prof_, obs::kPhaseMemoryOp);
     for (auto it = station_.begin(); it != station_.end();) {
         if (tryExecute(*it)) {
             if (it->kind == OpKind::Resize)

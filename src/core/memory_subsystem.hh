@@ -45,6 +45,9 @@
 #include "core/cluster_index.hh"
 #include "engine/instance.hh"
 #include "engine/node.hh"
+#include "obs/counters.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace slinfer
@@ -60,7 +63,10 @@ class MemorySubsystem
     MemorySubsystem(Simulator &sim, Partition &partition, double watermark,
                     std::function<void()> notify,
                     ClusterIndex *index = nullptr,
-                    bool oracleScans = false);
+                    bool oracleScans = false,
+                    obs::Counters *ctr = nullptr,
+                    obs::TraceRecorder *trace = nullptr,
+                    obs::PhaseProfiler *prof = nullptr);
 
     /** Optimistic budget: weights + committed KV target of every
      *  non-reclaimed instance on the partition. O(1) via the running
@@ -206,6 +212,10 @@ class MemorySubsystem
     std::function<void()> notify_;
     ClusterIndex *index_;
     bool oracle_;
+    /** Flight-recorder sinks (any may be null = off). */
+    obs::Counters *ctr_;
+    obs::TraceRecorder *trace_;
+    obs::PhaseProfiler *prof_;
     std::deque<Op> station_;
     /** Instances with a parked (not yet executing) resize. */
     std::set<InstanceId> parkedResize_;

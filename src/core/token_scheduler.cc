@@ -13,9 +13,11 @@ namespace slinfer
 TokenScheduler::TokenScheduler(Simulator &sim, Partition &partition,
                                SchedPolicy policy, double noiseSigma,
                                Rng rng, Callbacks cbs, ClusterStats *stats,
-                               ClusterIndex *index)
+                               ClusterIndex *index,
+                               obs::TraceRecorder *trace)
     : sim_(sim), part_(partition), policy_(policy), sigma_(noiseSigma),
-      rng_(rng), cbs_(std::move(cbs)), stats_(stats), index_(index)
+      rng_(rng), cbs_(std::move(cbs)), stats_(stats), index_(index),
+      trace_(trace)
 {
 }
 
@@ -155,6 +157,11 @@ TokenScheduler::runPrefill(Instance *inst, Request *req)
     Seconds dur = PerfModel::prefillTime(inst->execSpec, inst->model,
                                          req->contextLen()) *
                   noise();
+    if (trace_)
+        trace_->complete(obs::kCatExec, "prefill", sim_.now(), dur,
+                         obs::kPidCluster,
+                         static_cast<int>(part_.viewPos), "request",
+                         static_cast<double>(req->id));
     part_.busy = true;
     busyUntil_ = sim_.now() + dur;
     inst->busyTime += dur;
@@ -174,6 +181,11 @@ TokenScheduler::runDecode(Instance *inst)
     Seconds dur = PerfModel::decodeTime(inst->execSpec, inst->model, batch,
                                         inst->avgContextLen()) *
                   noise();
+    if (trace_)
+        trace_->complete(obs::kCatExec, "decode", sim_.now(), dur,
+                         obs::kPidCluster,
+                         static_cast<int>(part_.viewPos), "batch",
+                         static_cast<double>(batch));
     part_.busy = true;
     busyUntil_ = sim_.now() + dur;
     inst->busyTime += dur;

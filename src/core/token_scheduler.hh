@@ -29,6 +29,7 @@
 #include "core/cluster_index.hh"
 #include "engine/instance.hh"
 #include "metrics/cluster_stats.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace slinfer
@@ -57,7 +58,8 @@ class TokenScheduler
 
     TokenScheduler(Simulator &sim, Partition &partition, SchedPolicy policy,
                    double noiseSigma, Rng rng, Callbacks cbs,
-                   ClusterStats *stats, ClusterIndex *index = nullptr);
+                   ClusterStats *stats, ClusterIndex *index = nullptr,
+                   obs::TraceRecorder *trace = nullptr);
 
     /** Start an iteration if the partition is idle and work exists. */
     void kick();
@@ -87,6 +89,8 @@ class TokenScheduler
     ClusterStats *stats_;
     /** Feeds the controller's running busy-seconds aggregates. */
     ClusterIndex *index_;
+    /** Flight-recorder span sink (null = tracing off). */
+    obs::TraceRecorder *trace_;
     Seconds busyUntil_ = 0.0;
 
     // In-flight iteration state (one iteration per partition at a time).

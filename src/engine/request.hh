@@ -29,6 +29,28 @@ enum class RequestState
     Dropped,     ///< queueing exceeded the TTFT SLO (proactive drop)
 };
 
+/** Stable lowercase name of a lifecycle state; trace spans use these
+ *  as step names so the flight recorder and the enum cannot drift. */
+inline const char *
+requestStateName(RequestState s)
+{
+    switch (s) {
+    case RequestState::Queued:
+        return "queued";
+    case RequestState::Prefill:
+        return "prefill";
+    case RequestState::Decode:
+        return "decode";
+    case RequestState::Transfer:
+        return "transfer";
+    case RequestState::Completed:
+        return "completed";
+    case RequestState::Dropped:
+        return "dropped";
+    }
+    return "?";
+}
+
 struct Request
 {
     RequestId id = 0;

@@ -14,6 +14,7 @@
 #include "harness/intervention.hh"
 #include "harness/systems.hh"
 #include "metrics/report.hh"
+#include "obs/config.hh"
 #include "scenario/arrival.hh"
 #include "workload/azure_trace.hh"
 #include "workload/dataset.hh"
@@ -72,6 +73,13 @@ struct ExperimentConfig
      * default) disables windowing and leaves the report unchanged.
      */
     int windows = 0;
+    /**
+     * Flight-recorder configuration (obs/config.hh): span tracing,
+     * hot-path counters, live timeseries sampling, wall-clock phase
+     * profiling. All off by default; enabling any of them never
+     * perturbs the simulation (reports stay byte-identical).
+     */
+    obs::ObsConfig obs;
 
     /**
      * Check the configuration for conflicts before any state is

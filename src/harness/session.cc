@@ -17,6 +17,13 @@ Session::Session(const ExperimentConfig &cfg)
 {
     cfg_.validate();
 
+    // The flight recorder exists only when something is enabled; its
+    // sinks are nullable pointers, so a disabled run pays nothing.
+    if (cfg_.obs.any()) {
+        obs_ = std::make_unique<obs::FlightRecorder>(cfg_.obs);
+        sim_.attachObs(obs_->counters(), obs_->profiler());
+    }
+
     // The legacy pre-materialized trace moves out of our config copy
     // (nothing reads cfg_.trace after this) instead of being copied a
     // second time and kept alive for the whole session.
@@ -66,6 +73,11 @@ Session::Session(const ExperimentConfig &cfg)
     ctl_cfg.seed = cfg_.seed;
     controller_ = makeSystem(cfg_.system, sim_, cluster_, cfg_.models,
                              avg_out, ctl_cfg, recorder_);
+    // Attach before any event runs: schedulers and memory subsystems
+    // are created lazily at first dispatch, so all of them inherit the
+    // sinks wired here.
+    if (obs_)
+        controller_->attachObs(obs_.get());
 
     for (Request &req : requests_) {
         arrivalEvents_.push_back(sim_.scheduleAt(
@@ -78,6 +90,13 @@ Session::Session(const ExperimentConfig &cfg)
     sim_.schedule(1.0, [this] { sampleKv(); });
     for (const Intervention &iv : cfg_.timeline)
         sim_.scheduleAt(iv.at, [this, iv] { applyIntervention(iv); });
+
+    // Timeseries sampling starts with a t=0 row; later rows are taken
+    // by chopping advances at the sample cadence (advanceSampled).
+    if (obs_ && obs_->timeseries()) {
+        recordSample();
+        nextSample_ = obs_->timeseries()->sampleEvery();
+    }
 }
 
 Session::~Session() = default;
@@ -134,7 +153,44 @@ Session::advanceTo(Seconds t)
         fatal("Session::advanceTo after finish()");
     if (t < sim_.now())
         fatal("Session::advanceTo into the past");
+    advanceSampled(t);
     sim_.runUntil(t);
+}
+
+void
+Session::advanceSampled(Seconds t)
+{
+    if (!obs_ || !obs_->timeseries())
+        return;
+    const Seconds every = obs_->timeseries()->sampleEvery();
+    Seconds end = std::min(t, duration_);
+    while (nextSample_ <= end) {
+        sim_.runUntil(nextSample_);
+        recordSample();
+        nextSample_ += every;
+    }
+}
+
+void
+Session::recordSample()
+{
+    MetricsView v = sample();
+    obs::TimeseriesSample s;
+    s.time = v.time;
+    s.arrived = v.arrived;
+    s.completed = v.completed;
+    s.dropped = v.dropped;
+    s.inFlight = v.inFlight;
+    s.queueDepth = 0;
+    for (std::size_t depth : v.queueDepthPerModel)
+        s.queueDepth += depth;
+    s.instancesLive = v.instancesLive;
+    s.instancesCreated = v.instancesCreated;
+    s.kvUtilization = v.kvUtilization;
+    s.busySecondsCpu = v.busySecondsCpu;
+    s.busySecondsGpu = v.busySecondsGpu;
+    s.scalingOverhead = v.scalingOverhead;
+    obs_->timeseries()->record(s);
 }
 
 void
@@ -150,6 +206,9 @@ Session::finish()
 {
     if (finished_)
         fatal("Session::finish called twice");
+    // Take the sample points the caller never stepped across before
+    // the final drain runs past the metrics window.
+    advanceSampled(duration_);
     // Drain: requests admitted inside the window complete past its
     // end, exactly as the one-shot driver always ran them.
     sim_.run();
@@ -160,6 +219,14 @@ Session::finish()
     report.kvUtilization =
         kvSampling_.n ? kvSampling_.sum / kvSampling_.n : 0.0;
     report.scalingOverhead = controller_->scalingOverheadFraction();
+    if (obs_ && obs_->counters()) {
+        const obs::Counters &c = *obs_->counters();
+        report.counters.reserve(obs::kNumCounters);
+        for (std::size_t i = 0; i < obs::kNumCounters; ++i)
+            report.counters.emplace_back(obs::counterName(i), c.v[i]);
+    }
+    if (obs_ && obs_->profiler())
+        obs::addPhaseTotals(*obs_->profiler());
     return report;
 }
 
@@ -209,6 +276,12 @@ Session::checkedModel(const Intervention &iv) const
 void
 Session::applyIntervention(const Intervention &iv)
 {
+    if (obs_ && obs_->trace() &&
+        obs_->trace()->wants(obs::kCatIntervention)) {
+        obs_->trace()->instant(obs::kCatIntervention,
+                               interventionKindName(iv.kind), sim_.now(),
+                               obs::kPidController, 0);
+    }
     switch (iv.kind) {
       case Intervention::Kind::NodeFail:
         controller_->failNode(static_cast<NodeId>(iv.node));

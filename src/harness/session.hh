@@ -35,6 +35,7 @@
 #include <memory>
 
 #include "harness/experiment.hh"
+#include "obs/obs.hh"
 
 namespace slinfer
 {
@@ -116,6 +117,14 @@ class Session
     ControllerBase &controller() { return *controller_; }
     const ControllerBase &controller() const { return *controller_; }
 
+    /** The flight recorder, or nullptr when cfg.obs enabled nothing.
+     *  Valid for the Session's lifetime, including after finish(). */
+    obs::FlightRecorder *flightRecorder() { return obs_.get(); }
+    const obs::FlightRecorder *flightRecorder() const
+    {
+        return obs_.get();
+    }
+
   private:
     void applyIntervention(const Intervention &iv);
     Request materializeRequest(ModelId model, const ModelSpec &spec,
@@ -127,6 +136,13 @@ class Session
     void scaleArrivals(double factor, int modelFilter);
     void injectBurst(ModelId model, double rpm, Seconds burstLen);
     void sampleKv();
+    /** Append one timeseries sample at the current sim time. */
+    void recordSample();
+    /** Run timeseries sample points in [nextSample_, min(t, end)]
+     *  by chopping the advance at each boundary — sampling schedules
+     *  no events, so the run stays byte-identical to an unsampled
+     *  one (the PR 5 stepped-advance determinism contract). */
+    void advanceSampled(Seconds t);
 
     ExperimentConfig cfg_;
     Seconds duration_ = 0.0;
@@ -160,6 +176,11 @@ class Session
     };
     KvSampling kvSampling_;
     bool finished_ = false;
+
+    /** Flight recorder (null unless cfg.obs enabled a component). */
+    std::unique_ptr<obs::FlightRecorder> obs_;
+    /** Next timeseries sample boundary (sim time). */
+    Seconds nextSample_ = 0.0;
 };
 
 } // namespace slinfer

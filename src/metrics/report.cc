@@ -164,6 +164,18 @@ emitJson(const Report &r, const char *nl, const char *indent,
         }
         os << "]";
     }
+    // The counters block exists only when the run enabled the
+    // flight-recorder counter registry; instrumented-off reports stay
+    // byte-identical to the pre-obs format.
+    if (!r.counters.empty()) {
+        os << "," << nl << indent << "\"counters\": {";
+        for (std::size_t i = 0; i < r.counters.size(); ++i) {
+            os << (i ? ", " : "") << "\""
+               << jsonEscape(r.counters[i].first)
+               << "\": " << r.counters[i].second;
+        }
+        os << "}";
+    }
     os << nl << "}";
     return os.str();
 }
@@ -199,6 +211,23 @@ reportWindowsCsvHeader()
 {
     return "system,scenario,seed,window,start,end,arrived,completed,"
            "dropped,p50_ttft,p95_ttft,completed_per_sec,tokens_per_sec";
+}
+
+std::string
+reportCountersCsvHeader()
+{
+    return "system,scenario,seed,counter,value";
+}
+
+std::string
+toCountersCsvRows(const Report &r)
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : r.counters) {
+        os << csvField(r.system) << ',' << csvField(r.scenario) << ','
+           << r.seed << ',' << csvField(name) << ',' << value << '\n';
+    }
+    return os.str();
 }
 
 std::string

@@ -75,6 +75,11 @@ struct Report
      *  windowed (plain reports stay byte-identical). */
     std::vector<Window> windows;
 
+    /** Flight-recorder counter snapshot as (name, value) pairs in
+     *  registry order (obs/counters.hh); empty unless the run enabled
+     *  counters, so plain reports stay byte-identical. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
     /** Build the summary from the two collectors. */
     static Report build(const std::string &system, const Recorder &rec,
                         const ClusterStats &stats,
@@ -100,6 +105,14 @@ std::string reportCsvHeader();
 
 /** Header line matching toWindowsCsvRows. */
 std::string reportWindowsCsvHeader();
+
+/** Header line matching toCountersCsvRows. */
+std::string reportCountersCsvHeader();
+
+/** One CSV row per flight-recorder counter (empty string when the run
+ *  did not enable counters); rows carry system/scenario/seed so the
+ *  table self-identifies. */
+std::string toCountersCsvRows(const Report &report);
 
 /** One CSV row per report window (empty string when unwindowed);
  *  rows carry system/scenario/seed so the table self-identifies. */

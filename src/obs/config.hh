@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Flight-recorder configuration, embedded in ExperimentConfig.
+ *
+ * Everything defaults to off; ObsConfig::any() is the single gate the
+ * Session uses to decide whether to build a FlightRecorder at all.
+ * When nothing is enabled no obs object exists and every hot-path sink
+ * pointer stays null, so instrumentation costs one branch per site.
+ */
+
+#ifndef SLINFER_OBS_CONFIG_HH
+#define SLINFER_OBS_CONFIG_HH
+
+#include <cstddef>
+
+namespace slinfer
+{
+namespace obs
+{
+
+/** Trace categories, usable as a bitmask filter (--trace-cats). */
+enum TraceCat : unsigned
+{
+    kCatRequest = 1u << 0,      ///< per-request lifecycle spans
+    kCatExec = 1u << 1,         ///< prefill/decode iterations
+    kCatMemory = 1u << 2,       ///< weight loads/unloads, KV resizes
+    kCatController = 1u << 3,   ///< placement / drain decisions
+    kCatIntervention = 1u << 4, ///< scripted timeline interventions
+};
+
+/** All categories enabled. */
+constexpr unsigned kAllTraceCats = kCatRequest | kCatExec | kCatMemory |
+                                   kCatController | kCatIntervention;
+
+/** Display name of a single category bit ("?" for unknown). */
+inline const char *
+traceCatName(unsigned bit)
+{
+    switch (bit) {
+    case kCatRequest:
+        return "request";
+    case kCatExec:
+        return "exec";
+    case kCatMemory:
+        return "memory";
+    case kCatController:
+        return "controller";
+    case kCatIntervention:
+        return "intervention";
+    default:
+        return "?";
+    }
+}
+
+/** Which flight-recorder components a run enables. */
+struct ObsConfig
+{
+    /** Collect the hot-path counter registry (counters.hh). */
+    bool counters = false;
+    /** Record trace spans into the ring buffer (trace.hh). */
+    bool trace = false;
+    /** Category filter for the trace (mask over TraceCat). */
+    unsigned traceCats = kAllTraceCats;
+    /** Trace ring capacity in events; oldest are overwritten. */
+    std::size_t traceCapacity = std::size_t(1) << 20;
+    /** Timeseries cadence in sim-seconds; 0 disables sampling. */
+    double sampleEvery = 0.0;
+    /** Attribute host wall-clock to phases (phase.hh). */
+    bool phaseProfile = false;
+
+    /** True iff any component is enabled. */
+    bool any() const
+    {
+        return counters || trace || sampleEvery > 0.0 || phaseProfile;
+    }
+};
+
+} // namespace obs
+} // namespace slinfer
+
+#endif // SLINFER_OBS_CONFIG_HH

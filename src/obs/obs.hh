@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The flight recorder: one bundle owning whichever observability
+ * components a run enabled (counters, trace, timeseries, phase
+ * profiler). A Session builds one iff ObsConfig::any(); each accessor
+ * returns nullptr when that component is off, and every
+ * instrumentation site takes these nullable pointers — so with
+ * nothing enabled no FlightRecorder exists and the hot-path cost is a
+ * null test per site.
+ */
+
+#ifndef SLINFER_OBS_OBS_HH
+#define SLINFER_OBS_OBS_HH
+
+#include <memory>
+
+#include "obs/config.hh"
+#include "obs/counters.hh"
+#include "obs/phase.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+
+namespace slinfer
+{
+namespace obs
+{
+
+/** Owns the enabled observability components of one run. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(const ObsConfig &cfg)
+    {
+        if (cfg.counters)
+            counters_ = std::make_unique<Counters>();
+        if (cfg.trace)
+            trace_ = std::make_unique<TraceRecorder>(cfg.traceCats,
+                                                     cfg.traceCapacity);
+        if (cfg.sampleEvery > 0.0)
+            timeseries_ = std::make_unique<Timeseries>(cfg.sampleEvery);
+        if (cfg.phaseProfile)
+            profiler_ = std::make_unique<PhaseProfiler>();
+    }
+
+    Counters *counters() { return counters_.get(); }
+    TraceRecorder *trace() { return trace_.get(); }
+    Timeseries *timeseries() { return timeseries_.get(); }
+    PhaseProfiler *profiler() { return profiler_.get(); }
+
+    const Counters *counters() const { return counters_.get(); }
+    const TraceRecorder *trace() const { return trace_.get(); }
+    const Timeseries *timeseries() const { return timeseries_.get(); }
+    const PhaseProfiler *profiler() const { return profiler_.get(); }
+
+  private:
+    std::unique_ptr<Counters> counters_;
+    std::unique_ptr<TraceRecorder> trace_;
+    std::unique_ptr<Timeseries> timeseries_;
+    std::unique_ptr<PhaseProfiler> profiler_;
+};
+
+} // namespace obs
+} // namespace slinfer
+
+#endif // SLINFER_OBS_OBS_HH

@@ -1,0 +1,58 @@
+#include "obs/phase.hh"
+
+#include <mutex>
+
+namespace slinfer
+{
+namespace obs
+{
+
+void
+PhaseProfiler::enter(Phase p)
+{
+    Clock::time_point now = Clock::now();
+    if (!stack_.empty())
+        totals_[stack_.back()] +=
+            std::chrono::duration<double>(now - last_).count();
+    stack_.push_back(p);
+    ++counts_[p];
+    last_ = now;
+}
+
+void
+PhaseProfiler::exit()
+{
+    if (stack_.empty())
+        return;
+    Clock::time_point now = Clock::now();
+    totals_[stack_.back()] +=
+        std::chrono::duration<double>(now - last_).count();
+    stack_.pop_back();
+    last_ = now;
+}
+
+namespace
+{
+
+std::mutex gPhaseMutex;
+std::array<double, kNumPhases> gPhaseTotals{};
+
+} // namespace
+
+void
+addPhaseTotals(const PhaseProfiler &p)
+{
+    std::lock_guard<std::mutex> lock(gPhaseMutex);
+    for (std::size_t i = 0; i < kNumPhases; ++i)
+        gPhaseTotals[i] += p.total(static_cast<Phase>(i));
+}
+
+std::array<double, kNumPhases>
+phaseTotalsSnapshot()
+{
+    std::lock_guard<std::mutex> lock(gPhaseMutex);
+    return gPhaseTotals;
+}
+
+} // namespace obs
+} // namespace slinfer

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Wall-clock phase profiling: scoped timers attributing *host* time to
+ * event dispatch vs controller decide vs memory ops.
+ *
+ * Phases nest (controller decisions run inside event dispatch), so the
+ * profiler keeps a stack and charges each phase its self-time: time in
+ * an inner scope is charged to the inner phase only. The profiler
+ * reads std::chrono::steady_clock and never touches simulator state,
+ * so enabling it cannot change simulated behavior — only reports the
+ * cost of computing it.
+ *
+ * Sweep aggregation: each Session accumulates its profiler into a
+ * process-wide mutex-guarded total on finish (addPhaseTotals), which
+ * slinfer_sweep snapshots into the --timing-json "phases" block.
+ */
+
+#ifndef SLINFER_OBS_PHASE_HH
+#define SLINFER_OBS_PHASE_HH
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slinfer
+{
+namespace obs
+{
+
+/** The profiled host-time phases. */
+enum Phase : std::size_t
+{
+    kPhaseEventDispatch,   ///< Simulator::run/runUntil dispatch loop
+    kPhaseControllerDecide,///< admission, placement, retry sweeps
+    kPhaseMemoryOp,        ///< loads, unloads, KV resizes
+    kNumPhases
+};
+
+/** Stable snake_case name of phase `i` (the timing-JSON key). */
+inline const char *
+phaseName(std::size_t i)
+{
+    static const char *const kNames[kNumPhases] = {
+        "event_dispatch",
+        "controller_decide",
+        "memory_op",
+    };
+    return i < kNumPhases ? kNames[i] : "?";
+}
+
+/** Self-time accumulator, driven through ScopedPhase. */
+class PhaseProfiler
+{
+  public:
+    void enter(Phase p);
+    void exit();
+
+    /** Accumulated self-time of `p` in seconds. */
+    double total(Phase p) const { return totals_[p]; }
+
+    /** Times `p` was entered. */
+    std::uint64_t entries(Phase p) const { return counts_[p]; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::array<double, kNumPhases> totals_{};
+    std::array<std::uint64_t, kNumPhases> counts_{};
+    std::vector<Phase> stack_;
+    Clock::time_point last_{};
+};
+
+/** RAII phase scope; a null profiler makes it a no-op. */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseProfiler *p, Phase phase) : p_(p)
+    {
+        if (p_)
+            p_->enter(phase);
+    }
+    ~ScopedPhase()
+    {
+        if (p_)
+            p_->exit();
+    }
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PhaseProfiler *p_;
+};
+
+/** Fold one profiler into the process-wide totals (thread-safe). */
+void addPhaseTotals(const PhaseProfiler &p);
+
+/** Snapshot the process-wide per-phase totals, in seconds. */
+std::array<double, kNumPhases> phaseTotalsSnapshot();
+
+} // namespace obs
+} // namespace slinfer
+
+#endif // SLINFER_OBS_PHASE_HH

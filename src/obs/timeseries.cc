@@ -1,0 +1,62 @@
+#include "obs/timeseries.hh"
+
+#include <sstream>
+
+namespace slinfer
+{
+namespace obs
+{
+
+namespace
+{
+
+constexpr const char *kColumns =
+    "time,arrived,completed,dropped,in_flight,queue_depth,"
+    "instances_live,instances_created,kv_utilization,busy_cpu_s,"
+    "busy_gpu_s,scaling_overhead_s";
+
+} // namespace
+
+std::string
+Timeseries::toCsv() const
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << kColumns << "\n";
+    for (const TimeseriesSample &s : samples_) {
+        os << s.time << ',' << s.arrived << ',' << s.completed << ','
+           << s.dropped << ',' << s.inFlight << ',' << s.queueDepth
+           << ',' << s.instancesLive << ',' << s.instancesCreated << ','
+           << s.kvUtilization << ',' << s.busySecondsCpu << ','
+           << s.busySecondsGpu << ',' << s.scalingOverhead << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Timeseries::toJson() const
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << "[\n";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const TimeseriesSample &s = samples_[i];
+        os << "  {\"time\": " << s.time << ", \"arrived\": " << s.arrived
+           << ", \"completed\": " << s.completed
+           << ", \"dropped\": " << s.dropped
+           << ", \"in_flight\": " << s.inFlight
+           << ", \"queue_depth\": " << s.queueDepth
+           << ", \"instances_live\": " << s.instancesLive
+           << ", \"instances_created\": " << s.instancesCreated
+           << ", \"kv_utilization\": " << s.kvUtilization
+           << ", \"busy_cpu_s\": " << s.busySecondsCpu
+           << ", \"busy_gpu_s\": " << s.busySecondsGpu
+           << ", \"scaling_overhead_s\": " << s.scalingOverhead << "}"
+           << (i + 1 < samples_.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    return os.str();
+}
+
+} // namespace obs
+} // namespace slinfer

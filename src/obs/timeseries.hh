@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Live timeseries: sim-time-cadenced snapshots of the Session's
+ * MetricsView, exportable as CSV or JSON for plotting utilization /
+ * queue-depth curves against injected interventions.
+ *
+ * The sampler owns no clock and schedules no events: Session chops its
+ * advanceTo() calls at each k * sampleEvery boundary (runUntil is
+ * proven split-invariant, see docs/ARCHITECTURE.md) and records a
+ * sample between chunks. Sampling therefore cannot perturb event order
+ * — it only changes where the caller pauses the simulator.
+ */
+
+#ifndef SLINFER_OBS_TIMESERIES_HH
+#define SLINFER_OBS_TIMESERIES_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slinfer
+{
+namespace obs
+{
+
+/** One sample: the MetricsView scalars at a sim-time instant
+ *  (per-model queue depths collapsed to their sum). */
+struct TimeseriesSample
+{
+    double time = 0.0;
+    std::size_t arrived = 0;
+    std::size_t completed = 0;
+    std::size_t dropped = 0;
+    std::size_t inFlight = 0;
+    std::size_t queueDepth = 0;
+    std::size_t instancesLive = 0;
+    std::size_t instancesCreated = 0;
+    double kvUtilization = 0.0;
+    double busySecondsCpu = 0.0;
+    double busySecondsGpu = 0.0;
+    double scalingOverhead = 0.0;
+};
+
+/** Accumulates samples at a fixed sim-time cadence. */
+class Timeseries
+{
+  public:
+    explicit Timeseries(double sampleEvery) : every_(sampleEvery) {}
+
+    /** The configured cadence in sim-seconds. */
+    double sampleEvery() const { return every_; }
+
+    void record(const TimeseriesSample &s) { samples_.push_back(s); }
+
+    const std::vector<TimeseriesSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /** Render as CSV (header + one row per sample). */
+    std::string toCsv() const;
+
+    /** Render as a JSON array of sample objects. */
+    std::string toJson() const;
+
+  private:
+    double every_;
+    std::vector<TimeseriesSample> samples_;
+};
+
+} // namespace obs
+} // namespace slinfer
+
+#endif // SLINFER_OBS_TIMESERIES_HH

@@ -1,0 +1,209 @@
+#include "obs/trace.hh"
+
+#include <ostream>
+
+#include "obs/config.hh"
+
+namespace slinfer
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Track/thread names are generated ("controller", "n3/p1", ...) but
+ *  escape defensively so the export is always valid JSON. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+writeEvent(std::ostream &os, const TraceEvent &e)
+{
+    os << "{\"name\": \"" << e.name << "\", \"cat\": \""
+       << traceCatName(e.cat) << "\", \"ph\": \"" << e.ph
+       << "\", \"pid\": " << e.pid << ", \"tid\": " << e.tid
+       << ", \"ts\": " << e.ts * 1e6;
+    if (e.ph == 'X')
+        os << ", \"dur\": " << e.dur * 1e6;
+    if (e.ph == 'b' || e.ph == 'e' || e.ph == 'n')
+        os << ", \"id\": " << e.id;
+    if (e.ph == 'i')
+        os << ", \"s\": \"t\"";
+    if (e.argName)
+        os << ", \"args\": {\"" << e.argName << "\": " << e.arg << "}";
+    os << "}";
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder(unsigned catMask, std::size_t capacity)
+    : mask_(catMask), cap_(capacity ? capacity : 1)
+{
+    // Reserve up front so recording never allocates on the hot path.
+    ring_.reserve(cap_);
+}
+
+void
+TraceRecorder::push(const TraceEvent &e)
+{
+    ++total_;
+    if (ring_.size() < cap_) {
+        ring_.push_back(e);
+        return;
+    }
+    ring_[head_] = e;
+    head_ = (head_ + 1) % cap_;
+}
+
+void
+TraceRecorder::asyncBegin(unsigned cat, const char *name, double ts,
+                          int pid, std::uint64_t id)
+{
+    if (!wants(cat))
+        return;
+    TraceEvent e;
+    e.ts = ts;
+    e.name = name;
+    e.id = id;
+    e.pid = pid;
+    e.cat = cat;
+    e.ph = 'b';
+    push(e);
+}
+
+void
+TraceRecorder::asyncEnd(unsigned cat, const char *name, double ts,
+                        int pid, std::uint64_t id)
+{
+    if (!wants(cat))
+        return;
+    TraceEvent e;
+    e.ts = ts;
+    e.name = name;
+    e.id = id;
+    e.pid = pid;
+    e.cat = cat;
+    e.ph = 'e';
+    push(e);
+}
+
+void
+TraceRecorder::asyncInstant(unsigned cat, const char *name, double ts,
+                            int pid, std::uint64_t id,
+                            const char *argName, double arg)
+{
+    if (!wants(cat))
+        return;
+    TraceEvent e;
+    e.ts = ts;
+    e.name = name;
+    e.argName = argName;
+    e.arg = arg;
+    e.id = id;
+    e.pid = pid;
+    e.cat = cat;
+    e.ph = 'n';
+    push(e);
+}
+
+void
+TraceRecorder::complete(unsigned cat, const char *name, double ts,
+                        double dur, int pid, int tid,
+                        const char *argName, double arg)
+{
+    if (!wants(cat))
+        return;
+    TraceEvent e;
+    e.ts = ts;
+    e.dur = dur;
+    e.name = name;
+    e.argName = argName;
+    e.arg = arg;
+    e.pid = pid;
+    e.tid = tid;
+    e.cat = cat;
+    e.ph = 'X';
+    push(e);
+}
+
+void
+TraceRecorder::instant(unsigned cat, const char *name, double ts,
+                       int pid, int tid, const char *argName, double arg)
+{
+    if (!wants(cat))
+        return;
+    TraceEvent e;
+    e.ts = ts;
+    e.name = name;
+    e.argName = argName;
+    e.arg = arg;
+    e.pid = pid;
+    e.tid = tid;
+    e.cat = cat;
+    e.ph = 'i';
+    push(e);
+}
+
+void
+TraceRecorder::setProcessName(int pid, const std::string &name)
+{
+    procNames_[pid] = name;
+}
+
+void
+TraceRecorder::setThreadName(int pid, int tid, const std::string &name)
+{
+    threadNames_[{pid, tid}] = name;
+}
+
+void
+TraceRecorder::writeChromeJson(std::ostream &os) const
+{
+    os.precision(15);
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    for (const auto &[pid, name] : procNames_) {
+        sep();
+        os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+           << pid << ", \"tid\": 0, \"args\": {\"name\": \""
+           << escape(name) << "\"}}";
+    }
+    for (const auto &[key, name] : threadNames_) {
+        sep();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+           << key.first << ", \"tid\": " << key.second
+           << ", \"args\": {\"name\": \"" << escape(name) << "\"}}";
+    }
+    // Insertion order == time order: replay the ring oldest-first.
+    std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &e =
+            ring_[n == cap_ ? (head_ + i) % cap_ : i];
+        sep();
+        writeEvent(os, e);
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+} // namespace obs
+} // namespace slinfer

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Span tracing: a bounded ring buffer of sim-time trace events,
+ * exported as Chrome trace_event JSON (loadable in Perfetto or
+ * chrome://tracing).
+ *
+ * Track layout:
+ *   - pid kPidController: controller decisions and timeline
+ *     interventions (instant events on tid 0);
+ *   - pid kPidCluster: execution and memory operations, one thread per
+ *     partition (tid = Partition::viewPos, named "n<node>/p<index>");
+ *   - pid kPidModelBase + model: request lifecycle, one async span per
+ *     request (id = request id) with instant sub-steps (queued, admit,
+ *     pd-transfer, drop) nested inside it.
+ *
+ * Recording is allocation-free: the ring is sized up front
+ * (ObsConfig::traceCapacity) and overwrites the oldest events when
+ * full (dropped() reports how many were lost); names are static
+ * string literals; a category-mask test rejects filtered events
+ * before any work happens. All timestamps are sim-time, so the trace
+ * is deterministic for a given config+seed and recording it cannot
+ * perturb simulation order.
+ */
+
+#ifndef SLINFER_OBS_TRACE_HH
+#define SLINFER_OBS_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/config.hh"
+
+namespace slinfer
+{
+namespace obs
+{
+
+/** Process ids of the fixed trace tracks. */
+constexpr int kPidController = 1;
+constexpr int kPidCluster = 2;
+/** Request spans live on pid kPidModelBase + model id. */
+constexpr int kPidModelBase = 100;
+
+/** One recorded event. Plain data; `name`/`argName` must be string
+ *  literals (no ownership). */
+struct TraceEvent
+{
+    double ts = 0.0;  ///< sim-seconds at record time
+    double dur = 0.0; ///< span length ('X' events only)
+    const char *name = nullptr;
+    const char *argName = nullptr; ///< nullptr = no args block
+    double arg = 0.0;
+    std::uint64_t id = 0; ///< async-span id ('b'/'e'/'n' events)
+    std::int32_t pid = 0;
+    std::int32_t tid = 0;
+    unsigned cat = 0; ///< single TraceCat bit
+    char ph = '?';    ///< trace_event phase: X, i, b, e or n
+};
+
+/** The bounded sim-time span recorder. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder(unsigned catMask, std::size_t capacity);
+
+    /** True iff events of category `cat` pass the filter. Callers may
+     *  pre-check to skip argument marshalling. */
+    bool wants(unsigned cat) const { return (mask_ & cat) != 0; }
+
+    /** Begin an async span (`ph:'b'`), e.g. a request lifetime. */
+    void asyncBegin(unsigned cat, const char *name, double ts, int pid,
+                    std::uint64_t id);
+
+    /** End an async span (`ph:'e'`). */
+    void asyncEnd(unsigned cat, const char *name, double ts, int pid,
+                  std::uint64_t id);
+
+    /** Instant step inside an async span (`ph:'n'`). */
+    void asyncInstant(unsigned cat, const char *name, double ts, int pid,
+                      std::uint64_t id, const char *argName = nullptr,
+                      double arg = 0.0);
+
+    /** Complete span (`ph:'X'`) whose duration is known up front. */
+    void complete(unsigned cat, const char *name, double ts, double dur,
+                  int pid, int tid, const char *argName = nullptr,
+                  double arg = 0.0);
+
+    /** Thread-scoped instant event (`ph:'i'`). */
+    void instant(unsigned cat, const char *name, double ts, int pid,
+                 int tid, const char *argName = nullptr,
+                 double arg = 0.0);
+
+    /** Register a track (process) display name. */
+    void setProcessName(int pid, const std::string &name);
+
+    /** Register a per-partition (thread) display name. */
+    void setThreadName(int pid, int tid, const std::string &name);
+
+    /** Events currently held in the ring. */
+    std::size_t size() const { return ring_.size(); }
+
+    /** Events recorded over the run (including overwritten ones). */
+    std::uint64_t total() const { return total_; }
+
+    /** Events lost to ring overwrite. */
+    std::uint64_t dropped() const { return total_ - ring_.size(); }
+
+    /**
+     * Export `{"traceEvents": [...]}` Chrome trace JSON: metadata
+     * (process/thread names) first, then the ring in insertion order —
+     * which is nondecreasing sim-time, since every event is stamped
+     * with the simulator clock at record time. Timestamps are emitted
+     * in microseconds as the format requires.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    void push(const TraceEvent &e);
+
+    unsigned mask_;
+    std::size_t cap_;
+    std::vector<TraceEvent> ring_;
+    /** Overwrite cursor once the ring is full (oldest event). */
+    std::size_t head_ = 0;
+    std::uint64_t total_ = 0;
+    std::map<int, std::string> procNames_;
+    std::map<std::pair<int, int>, std::string> threadNames_;
+};
+
+} // namespace obs
+} // namespace slinfer
+
+#endif // SLINFER_OBS_TRACE_HH

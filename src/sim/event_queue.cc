@@ -110,6 +110,7 @@ EventQueue::promoteNextBucket() const
     curBucket_ = word * 64 +
                  static_cast<std::size_t>(__builtin_ctzll(bits));
     occupied_[word] &= ~(1ull << (curBucket_ % 64));
+    obs::bump(ctr_, obs::kBucketPromotions);
     // Swap, filter, heapify: the drained near vector's capacity is
     // recycled into the bucket, and stale (cancelled) entries never
     // reach the heap at all.
@@ -171,6 +172,7 @@ EventQueue::rebase() const
         buckets_[idx].push_back(e);
     }
     wheelCount_ += overflow_.size();
+    obs::add(ctr_, obs::kEventsRebased, overflow_.size());
     overflow_.clear();
 }
 
@@ -209,6 +211,7 @@ EventQueue::cancelSlot(std::uint32_t slot, std::uint32_t gen)
     freeSlot(slot);
     --live_;
     ++tombstones_;
+    obs::bump(ctr_, obs::kEventsCancelled);
 }
 
 Seconds
@@ -234,6 +237,7 @@ EventQueue::popAndRun()
     InlineCallback cb = std::move(cbs_[slot]);
     freeSlot(slot);
     --live_;
+    obs::bump(ctr_, obs::kEventsFired);
     cb.consume();
     return when;
 }

@@ -70,6 +70,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/counters.hh"
 
 namespace slinfer
 {
@@ -324,6 +325,14 @@ class EventQueue
      *  (e.g. an experiment's bulk-scheduled arrival backlog). */
     void reserve(std::size_t n);
 
+    /**
+     * Attach a flight-recorder counter sink (nullptr detaches). The
+     * disabled cost is one null test per hot-path site; counters are
+     * write-only from the queue's perspective, so attaching one cannot
+     * change event order.
+     */
+    void attachCounters(obs::Counters *c) { ctr_ = c; }
+
   private:
     friend class EventHandle;
 
@@ -512,6 +521,9 @@ class EventQueue
     mutable std::vector<Entry> overflow_;
     mutable Seconds overflowLo_ = 0.0;
     mutable Seconds overflowHi_ = 0.0;
+    /** Optional counter sink; mutated through the pointer from const
+     *  maintenance paths (promotion/rebase), which is well-defined. */
+    obs::Counters *ctr_ = nullptr;
 };
 
 } // namespace slinfer

@@ -6,6 +6,7 @@ namespace slinfer
 Seconds
 Simulator::run()
 {
+    obs::ScopedPhase phase(prof_, obs::kPhaseEventDispatch);
     while (!queue_.empty()) {
         // Advance the clock before running the callback so that now()
         // observed inside the callback equals the event's own time.
@@ -19,6 +20,7 @@ Simulator::run()
 Seconds
 Simulator::runUntil(Seconds until)
 {
+    obs::ScopedPhase phase(prof_, obs::kPhaseEventDispatch);
     while (!queue_.empty() && queue_.nextTime() <= until) {
         now_ = queue_.nextTime();
         queue_.popAndRun();

@@ -13,6 +13,7 @@
 #define SLINFER_SIM_SIMULATOR_HH
 
 #include "common/log.hh"
+#include "obs/phase.hh"
 #include "sim/event_queue.hh"
 
 namespace slinfer
@@ -62,10 +63,23 @@ class Simulator
     /** Pre-size the event arena for `n` concurrent events. */
     void reserveEvents(std::size_t n) { queue_.reserve(n); }
 
+    /**
+     * Attach flight-recorder sinks (either may be null): counters go
+     * to the event queue's hot-path hooks, the profiler brackets the
+     * dispatch loops. Neither feeds back into event order.
+     */
+    void
+    attachObs(obs::Counters *counters, obs::PhaseProfiler *profiler)
+    {
+        queue_.attachCounters(counters);
+        prof_ = profiler;
+    }
+
   private:
     EventQueue queue_;
     Seconds now_ = 0.0;
     std::uint64_t eventsRun_ = 0;
+    obs::PhaseProfiler *prof_ = nullptr;
 };
 
 } // namespace slinfer

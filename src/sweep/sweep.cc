@@ -329,13 +329,14 @@ applyOverrides(ExperimentConfig cfg, const OverrideSet &overrides)
 }
 
 Report
-runJob(const JobSpec &job)
+runJob(const JobSpec &job, bool phaseProfile)
 {
     const scenario::Scenario *sc = scenario::byName(job.scenario);
     if (!sc)
         fatal("sweep job: unknown scenario '" + job.scenario + "'");
     ExperimentConfig cfg = applyOverrides(
         sc->toExperiment(job.system, job.seed), job.overrides);
+    cfg.obs.phaseProfile = phaseProfile;
     Report report = runExperiment(cfg);
     report.scenario = job.scenario;
     report.seed = job.seed;
@@ -388,9 +389,12 @@ runGrid(const Grid &grid, const RunOptions &opts, RunStats *stats)
         std::ostringstream tag;
         tag << "job " << i + 1 << "/" << jobs.size() << " "
             << jobs[i].hash();
-        setLogThreadTag(tag.str());
-        Report report = runJob(jobs[i]);
-        setLogThreadTag("");
+        // Scope the tag over the whole job body (including the store
+        // append and progress report) and restore the previous tag on
+        // every exit path, so an idle worker's later messages never
+        // carry a stale "job N/M" prefix.
+        LogTagScope tag_scope(tag.str());
+        Report report = runJob(jobs[i], opts.phaseProfile);
         store.append(jobs[i], report);
         records[i].report = std::move(report);
         report_progress(jobs[i], false);

@@ -131,8 +131,10 @@ std::vector<JobSpec> expandGrid(const Grid &grid);
 ExperimentConfig applyOverrides(ExperimentConfig cfg,
                                 const OverrideSet &overrides);
 
-/** Run one job to completion (scenario lookup + overrides + harness). */
-Report runJob(const JobSpec &job);
+/** Run one job to completion (scenario lookup + overrides + harness).
+ *  `phaseProfile` turns on wall-clock phase attribution (obs/phase.hh);
+ *  it never changes the report's bytes. */
+Report runJob(const JobSpec &job, bool phaseProfile = false);
 
 /** One finished job: its spec plus the report it produced. */
 struct Record
@@ -159,6 +161,10 @@ struct RunOptions
     /** JSONL result store path; "" runs in memory (no resume). */
     std::string storePath;
     std::function<void(const Progress &)> onProgress;
+    /** Attribute wall-clock time to sim phases (event dispatch,
+     *  controller decide, memory ops); read the totals back with
+     *  obs::phaseTotalsSnapshot(). Reports are unaffected. */
+    bool phaseProfile = false;
 };
 
 /** Execution accounting for progress/perf reporting. */

@@ -13,6 +13,10 @@
  *   slinfer_run --scenario=quickstart,poisson-steady --format=csv
  *   slinfer_run --scenario=poisson-steady --timeline=faults.json
  *   slinfer_run --scenario=quickstart --windows=6
+ *   slinfer_run --scenario=quickstart --counters
+ *   slinfer_run --scenario=fleet-node-failure --trace=trace.json
+ *   slinfer_run --scenario=flash-crowd --timeseries=ts.csv \
+ *               --sample-every=1s
  *
  * Multi-scenario invocations emit the CSV header exactly once; --quiet
  * silences per-run logging for sweep-driven use. (For grids, parallel
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "harness/session.hh"
 #include "scenario/scenario.hh"
 #include "scenario/timeline.hh"
 #include "sweep/sweep.hh"
@@ -54,6 +59,17 @@ usage(std::FILE *to)
         "  --timeline=<file.json> scripted interventions overriding the\n"
         "                         scenario's own timeline\n"
         "  --windows=<n>          per-window TTFT/throughput rows\n"
+        "  --counters             flight-recorder counters in the "
+        "report\n"
+        "  --trace=<file.json>    Chrome trace_event spans (single "
+        "run)\n"
+        "  --trace-cats=<a,b,..>  span categories: request, exec, "
+        "memory,\n"
+        "                         controller, intervention (default: "
+        "all)\n"
+        "  --timeseries=<file>    live metrics samples, CSV or .json "
+        "(single run)\n"
+        "  --sample-every=<sec>   timeseries cadence (default: 1s)\n"
         "  --format=json|csv      output format (default: json)\n"
         "  --out=<path>           write the report there instead of "
         "stdout\n"
@@ -93,6 +109,62 @@ parseCount(const std::string &tok, const char *flag)
     return v;
 }
 
+/** Parse a positive duration in seconds; an optional trailing 's'
+ *  ("1s", "0.5s") is accepted. Exits naming the flag otherwise. */
+double
+parseSeconds(std::string tok, const char *flag)
+{
+    std::string shown = tok;
+    if (!tok.empty() && tok.back() == 's')
+        tok.pop_back();
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || errno == ERANGE ||
+        end != tok.c_str() + tok.size() || !(v > 0)) {
+        std::fprintf(stderr, "%s: malformed value '%s'\n", flag,
+                     shown.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parse a comma-separated trace-category list into a TraceCat mask;
+ *  exits on unknown names. */
+unsigned
+parseTraceCats(const std::string &arg)
+{
+    unsigned mask = 0;
+    std::istringstream in(arg);
+    std::string name;
+    while (std::getline(in, name, ',')) {
+        if (name.empty())
+            continue;
+        unsigned bit = 0;
+        for (unsigned b = obs::kCatRequest; b <= obs::kCatIntervention;
+             b <<= 1) {
+            if (name == obs::traceCatName(b)) {
+                bit = b;
+                break;
+            }
+        }
+        if (!bit) {
+            std::fprintf(stderr,
+                         "--trace-cats: unknown category '%s' (use "
+                         "request, exec, memory, controller, "
+                         "intervention)\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        mask |= bit;
+    }
+    if (!mask) {
+        std::fprintf(stderr, "--trace-cats: empty category list\n");
+        std::exit(2);
+    }
+    return mask;
+}
+
 } // namespace
 
 int
@@ -110,6 +182,11 @@ main(int argc, char **argv)
     bool quiet = false;
     bool seed_set = false;
     std::uint64_t seed = 0;
+    bool counters = false;
+    std::string trace_path;
+    unsigned trace_cats = obs::kAllTraceCats;
+    std::string timeseries_path;
+    double sample_every = 1.0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -154,6 +231,16 @@ main(int argc, char **argv)
                 return 2;
             }
             windows = static_cast<int>(n);
+        } else if (arg == "--counters") {
+            counters = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = value();
+        } else if (arg.rfind("--trace-cats=", 0) == 0) {
+            trace_cats = parseTraceCats(value());
+        } else if (arg.rfind("--timeseries=", 0) == 0) {
+            timeseries_path = value();
+        } else if (arg.rfind("--sample-every=", 0) == 0) {
+            sample_every = parseSeconds(value(), "--sample-every");
         } else if (arg.rfind("--format=", 0) == 0) {
             format = value();
         } else if (arg.rfind("--out=", 0) == 0) {
@@ -213,6 +300,19 @@ main(int argc, char **argv)
     }
     SystemKind system = parseSystem(system_name);
 
+    // Trace / timeseries files describe exactly one run; refuse the
+    // ambiguity of multi-scenario or multi-seed invocations.
+    std::size_t runs =
+        scs.size() *
+        (seeds.empty() ? static_cast<std::size_t>(sweep > 0 ? sweep : 1)
+                       : seeds.size());
+    if ((!trace_path.empty() || !timeseries_path.empty()) && runs != 1) {
+        std::fprintf(stderr, "--trace/--timeseries require a single "
+                             "scenario and seed (%zu runs requested)\n",
+                     runs);
+        return 2;
+    }
+
     Timeline timeline;
     bool timeline_set = false;
     if (!timeline_path.empty()) {
@@ -238,7 +338,76 @@ main(int argc, char **argv)
             if (timeline_set)
                 cfg.timeline = timeline;
             cfg.windows = windows;
-            Report report = runExperiment(cfg);
+            cfg.obs.counters = counters;
+            cfg.obs.trace = !trace_path.empty();
+            cfg.obs.traceCats = trace_cats;
+            if (!timeseries_path.empty())
+                cfg.obs.sampleEvery = sample_every;
+            Report report;
+            if (cfg.obs.any()) {
+                // The stepwise lifecycle keeps the flight recorder
+                // alive for the export below; the run itself is byte-
+                // identical to runExperiment (the PR 5 contract).
+                Session session(cfg);
+                session.advanceTo(session.duration());
+                report = session.finish();
+                obs::FlightRecorder *fr = session.flightRecorder();
+                if (!trace_path.empty()) {
+                    std::ofstream tf(trace_path);
+                    if (!tf) {
+                        std::fprintf(stderr, "cannot open %s\n",
+                                     trace_path.c_str());
+                        return 1;
+                    }
+                    fr->trace()->writeChromeJson(tf);
+                    tf.flush();
+                    if (!tf) {
+                        std::fprintf(stderr, "write to %s failed\n",
+                                     trace_path.c_str());
+                        return 1;
+                    }
+                    if (fr->trace()->dropped() > 0) {
+                        logf(LogLevel::Warn, "trace ring overflowed: ",
+                             fr->trace()->dropped(), " of ",
+                             fr->trace()->total(),
+                             " events dropped (narrow --trace-cats)");
+                    }
+                    if (!quiet) {
+                        std::fprintf(stderr,
+                                     "wrote %s (%zu trace events)\n",
+                                     trace_path.c_str(),
+                                     fr->trace()->size());
+                    }
+                }
+                if (!timeseries_path.empty()) {
+                    bool as_json =
+                        timeseries_path.size() >= 5 &&
+                        timeseries_path.compare(
+                            timeseries_path.size() - 5, 5, ".json") == 0;
+                    std::ofstream sf(timeseries_path);
+                    if (!sf) {
+                        std::fprintf(stderr, "cannot open %s\n",
+                                     timeseries_path.c_str());
+                        return 1;
+                    }
+                    sf << (as_json ? fr->timeseries()->toJson()
+                                   : fr->timeseries()->toCsv());
+                    sf.flush();
+                    if (!sf) {
+                        std::fprintf(stderr, "write to %s failed\n",
+                                     timeseries_path.c_str());
+                        return 1;
+                    }
+                    if (!quiet) {
+                        std::fprintf(
+                            stderr, "wrote %s (%zu samples)\n",
+                            timeseries_path.c_str(),
+                            fr->timeseries()->samples().size());
+                    }
+                }
+            } else {
+                report = runExperiment(cfg);
+            }
             report.scenario = sc->name;
             report.seed = s;
             reports.push_back(std::move(report));
@@ -257,6 +426,12 @@ main(int argc, char **argv)
             os << "\n" << reportWindowsCsvHeader() << "\n";
             for (const Report &r : reports)
                 os << toWindowsCsvRows(r);
+        }
+        // Counter-enabled runs append their own table likewise.
+        if (counters) {
+            os << "\n" << reportCountersCsvHeader() << "\n";
+            for (const Report &r : reports)
+                os << toCountersCsvRows(r);
         }
     } else if (reports.size() == 1) {
         os << toJson(reports[0]) << "\n";

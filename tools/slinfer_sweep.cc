@@ -19,12 +19,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <array>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
+#include "obs/phase.hh"
 #include "sweep/compare.hh"
 #include "sweep/pool.hh"
 #include "sweep/summary.hh"
@@ -228,6 +230,10 @@ main(int argc, char **argv)
     sweep::RunOptions opts;
     opts.jobs = jobs;
     opts.storePath = store_path;
+    // Timing output includes a host-time phase breakdown, so profile
+    // exactly when the caller asked for timing (never otherwise: the
+    // scoped timers are cheap but not free).
+    opts.phaseProfile = !timing_json.empty();
     if (!quiet) {
         opts.onProgress = [](const sweep::Progress &p) {
             std::fprintf(stderr, "[%zu/%zu] %s %s seed=%llu%s\n", p.done,
@@ -268,8 +274,17 @@ main(int argc, char **argv)
            << (stats.wallSeconds > 0
                    ? static_cast<double>(stats.executed) /
                          stats.wallSeconds
-                   : 0.0)
-           << "}\n";
+                   : 0.0);
+        // Host-time phase attribution summed across every executed
+        // job (obs/phase.hh); cached jobs contribute nothing.
+        std::array<double, obs::kNumPhases> phases =
+            obs::phaseTotalsSnapshot();
+        os << ", \"phases\": {";
+        for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+            os << (i ? ", " : "") << "\"" << obs::phaseName(i)
+               << "\": " << phases[i];
+        }
+        os << "}}\n";
         if (!writeFile(timing_json, os.str())) {
             std::fprintf(stderr, "cannot write %s\n",
                          timing_json.c_str());

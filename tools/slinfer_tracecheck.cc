@@ -1,0 +1,139 @@
+/**
+ * @file
+ * slinfer_tracecheck: validate Chrome trace_event JSON emitted by
+ * slinfer_run --trace (the CI smoke job runs it on the artifact it
+ * uploads).
+ *
+ *   slinfer_tracecheck trace.json [more.json ...]
+ *
+ * Checks, per file:
+ *   - the document parses and is {"traceEvents": [...]};
+ *   - every event is an object with a known ph and numeric pid/tid;
+ *   - non-metadata timestamps are numeric, nonnegative and
+ *     nondecreasing in array order (the recorder's insertion-order ==
+ *     time-order contract);
+ *   - 'X' events carry a nonnegative dur, async events ('b'/'e'/'n')
+ *     carry an id, and 'i' events carry a scope.
+ *
+ * Exit code: 0 all files valid, 1 any invalid, 2 usage error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sweep/json.hh"
+
+using slinfer::sweep::JsonValue;
+using slinfer::sweep::parseJson;
+
+namespace
+{
+
+bool
+fail(const std::string &path, std::size_t index, const std::string &why)
+{
+    std::fprintf(stderr, "%s: event %zu: %s\n", path.c_str(), index,
+                 why.c_str());
+    return false;
+}
+
+bool
+checkFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(ss.str(), doc, &err)) {
+        std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    if (!doc.isObject()) {
+        std::fprintf(stderr, "%s: root is not an object\n", path.c_str());
+        return false;
+    }
+    const JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr, "%s: missing traceEvents array\n",
+                     path.c_str());
+        return false;
+    }
+
+    const std::string known_ph = "MXibenBE";
+    double last_ts = 0.0;
+    bool have_ts = false;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &e = events->array[i];
+        if (!e.isObject())
+            return fail(path, i, "not an object");
+
+        const JsonValue *ph = e.find("ph");
+        if (!ph || !ph->isString() || ph->str.size() != 1 ||
+            known_ph.find(ph->str) == std::string::npos)
+            return fail(path, i, "missing or unknown ph");
+
+        const JsonValue *pid = e.find("pid");
+        const JsonValue *tid = e.find("tid");
+        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
+            return fail(path, i, "missing numeric pid/tid");
+        const JsonValue *name = e.find("name");
+        if (!name || !name->isString())
+            return fail(path, i, "missing name");
+
+        if (ph->str == "M")
+            continue; // metadata carries no timestamp
+
+        const JsonValue *ts = e.find("ts");
+        if (!ts || !ts->isNumber() || ts->number < 0)
+            return fail(path, i, "missing or negative ts");
+        if (have_ts && ts->number < last_ts)
+            return fail(path, i, "timestamps not nondecreasing");
+        last_ts = ts->number;
+        have_ts = true;
+
+        if (ph->str == "X") {
+            const JsonValue *dur = e.find("dur");
+            if (!dur || !dur->isNumber() || dur->number < 0)
+                return fail(path, i, "'X' without nonnegative dur");
+        }
+        if (ph->str == "b" || ph->str == "e" || ph->str == "n") {
+            const JsonValue *id = e.find("id");
+            if (!id || !id->isNumber())
+                return fail(path, i, "async event without id");
+        }
+        if (ph->str == "i") {
+            const JsonValue *scope = e.find("s");
+            if (!scope || !scope->isString())
+                return fail(path, i, "'i' without scope");
+        }
+    }
+
+    std::printf("%s: %zu events OK\n", path.c_str(),
+                events->array.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: slinfer_tracecheck <trace.json> [...]\n");
+        return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i)
+        ok = checkFile(argv[i]) && ok;
+    return ok ? 0 : 1;
+}
