@@ -237,6 +237,22 @@ main(int argc, char **argv)
     double req_per_sec =
         exp_wall > 0 ? static_cast<double>(rep.totalRequests) / exp_wall
                      : 0.0;
+    // The anatomy ledger lives on the controller/scheduler hooks, not
+    // the dispatch loop, so its cost only shows end-to-end: the same
+    // experiment again with the ledger attached. The ratio bounds what
+    // --explain / --attribution costs a whole run.
+    ExperimentConfig attr_cfg =
+        sc->toExperiment(SystemKind::Slinfer, sc->seed);
+    attr_cfg.obs.anatomy = true;
+    t0 = std::chrono::steady_clock::now();
+    Report attr_rep = runExperiment(attr_cfg);
+    double attr_wall = wallSeconds(t0);
+    double attr_req_per_sec =
+        attr_wall > 0
+            ? static_cast<double>(attr_rep.totalRequests) / attr_wall
+            : 0.0;
+    double attribution_ratio =
+        req_per_sec > 0 ? attr_req_per_sec / req_per_sec : 0.0;
 
     Table t({"metric", "value"});
     t.addRow({"events/sec (arena)", Table::num(arena, 0)});
@@ -250,6 +266,10 @@ main(int argc, char **argv)
     t.addRow({"counters-on/off ratio", Table::num(counters_ratio, 2) + "x"});
     t.addRow({"azure-64 wall (s)", Table::num(exp_wall, 3)});
     t.addRow({"azure-64 requests/sec", Table::num(req_per_sec, 0)});
+    t.addRow({"azure-64 req/sec (attribution)",
+              Table::num(attr_req_per_sec, 0)});
+    t.addRow({"attribution-on/off ratio",
+              Table::num(attribution_ratio, 2) + "x"});
     std::printf("sim hot-path throughput (%zu events, best of %d)\n",
                 events, repeat);
     t.print();
@@ -269,6 +289,8 @@ main(int argc, char **argv)
         {"events_per_sec_counters", point(arena_counters)},
         {"counters_on_off_ratio", point(counters_ratio)},
         {"exp_requests_per_sec", point(req_per_sec)},
+        {"exp_requests_per_sec_attribution", point(attr_req_per_sec)},
+        {"attribution_on_off_ratio", point(attribution_ratio)},
     };
     std::vector<sweep::SummaryRow> rows = {row};
 
@@ -293,11 +315,13 @@ main(int argc, char **argv)
             "  \"events_per_sec_counters\": %.0f,\n"
             "  \"counters_on_off_ratio\": %.2f,\n"
             "  \"azure64_wall_s\": %.3f,\n"
-            "  \"azure64_requests_per_sec\": %.0f\n"
+            "  \"azure64_requests_per_sec\": %.0f,\n"
+            "  \"azure64_requests_per_sec_attribution\": %.0f,\n"
+            "  \"attribution_on_off_ratio\": %.2f\n"
             "}\n",
             events, repeat, arena, legacy, speedup, arena_fleet,
             legacy_fleet, speedup_fleet, arena_counters, counters_ratio,
-            exp_wall, req_per_sec);
+            exp_wall, req_per_sec, attr_req_per_sec, attribution_ratio);
         if (!writeFile(json_path, buf))
             fatal("cannot write " + json_path);
     }
@@ -328,11 +352,14 @@ main(int argc, char **argv)
         // in the drift table of any baseline that carries them.
         // counters_on_off_ratio guards the flight recorder's
         // zero-overhead-when-off claim from the other side: attaching
-        // counters must not crater the dispatch loop.
+        // counters must not crater the dispatch loop, and
+        // attribution_on_off_ratio does the same for the anatomy
+        // ledger on a whole experiment.
         opts.metrics = {
             {"speedup_vs_legacy", true, 0.5},
             {"speedup_vs_legacy_fleet", true, 0.5},
             {"counters_on_off_ratio", true, 0.5},
+            {"attribution_on_off_ratio", true, 0.5},
         };
         sweep::CompareResult res = sweep::compare(rows, base, opts);
         std::fputs(res.table.c_str(), stdout);

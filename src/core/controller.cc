@@ -42,6 +42,7 @@ ControllerBase::attachObs(obs::FlightRecorder *fr)
     ctr_ = fr->counters();
     trace_ = fr->trace();
     prof_ = fr->profiler();
+    anat_ = fr->anatomy();
     if (!trace_)
         return;
     trace_->setProcessName(obs::kPidController, "controller");
@@ -73,6 +74,8 @@ ControllerBase::submit(Request *req)
 {
     obs::ScopedPhase phase(prof_, obs::kPhaseControllerDecide);
     recorder_.onArrival(*req);
+    if (anat_)
+        anat_->onArrival(*req, sim_.now());
     if (trace_)
         trace_->asyncBegin(obs::kCatRequest, "request", sim_.now(),
                            tracePid(req->model), req->id);
@@ -129,6 +132,8 @@ ControllerBase::dropRequest(Request *req)
     }
     req->state = RequestState::Dropped;
     recorder_.onDrop(*req, sim_.now());
+    if (anat_)
+        anat_->onDrop(*req, sim_.now());
     traceRequestEnd(req);
 }
 
@@ -360,7 +365,7 @@ ControllerBase::schedulerFor(Partition *part)
     slot = std::make_unique<TokenScheduler>(
         sim_, *part, schedPolicy(), cfg_.noiseSigma,
         rng_.fork(0x5C4ED + part->node * 16 + part->index), std::move(cbs),
-        stats_, &index_, trace_);
+        stats_, &index_, trace_, anat_);
     return *slot;
 }
 
@@ -422,6 +427,12 @@ ControllerBase::startStaticLoad(Instance *inst)
         inst->state = InstanceState::Active;
         inst->activeAt = sim_.now();
         index_.onInstanceActivated(*inst);
+        if (anat_) {
+            for (Request *r : inst->prefillQueue)
+                anat_->onInstanceActive(*r, sim_.now());
+            for (Request *r : inst->decodeBatch)
+                anat_->onInstanceActive(*r, sim_.now());
+        }
         markAllDecodeDirty();
         kickPartition(inst->primary);
         retryPending();
@@ -511,6 +522,9 @@ ControllerBase::admitTo(Request *req, Instance *inst)
     }
     req->instance = inst->id;
     req->state = RequestState::Prefill;
+    if (anat_)
+        anat_->onAdmit(*req, inst->state == InstanceState::Loading,
+                       sim_.now());
     if (trace_)
         trace_->asyncInstant(obs::kCatRequest, "admit", sim_.now(),
                              tracePid(req->model), req->id, "instance",
@@ -531,6 +545,10 @@ ControllerBase::admitToDecode(Request *req, Instance *inst)
     req->kvReserved = need;
     req->instance = inst->id;
     req->state = RequestState::Decode;
+    if (anat_)
+        anat_->onDecodeAdmit(*req,
+                             inst->state == InstanceState::Loading,
+                             sim_.now());
     if (trace_)
         trace_->asyncInstant(obs::kCatRequest, "admit-decode", sim_.now(),
                              tracePid(req->model), req->id, "instance",
@@ -557,6 +575,8 @@ ControllerBase::queueRequest(Request *req)
             return;
         req->state = RequestState::Dropped;
         recorder_.onDrop(*req, sim_.now());
+        if (anat_)
+            anat_->onDrop(*req, sim_.now());
         dropEvents_.erase(req->id);
         traceRequestEnd(req);
     });
@@ -616,6 +636,8 @@ ControllerBase::retryPending()
             if (req->state != RequestState::Queued)
                 continue; // dropped or already admitted elsewhere
             if (!tryDispatch(req)) {
+                if (anat_)
+                    anat_->onPlacementRetry(*req);
                 retryStill_.push_back(req);
                 ++failures;
             }
@@ -688,6 +710,8 @@ ControllerBase::requestDone(Request *req, Instance *inst)
 {
     req->completionTime = sim_.now();
     recorder_.onComplete(*req, sim_.now());
+    if (anat_)
+        anat_->onComplete(*req, sim_.now());
     traceRequestEnd(req);
     ModelEntry &me = models_[req->model];
     me.avgOutput = 0.85 * me.avgOutput +
@@ -717,6 +741,8 @@ ControllerBase::requeueEvicted(Request *req, Instance *inst)
     req->state = RequestState::Queued;
     ++req->migrations;
     ++evictions_;
+    if (anat_)
+        anat_->onEvicted(*req, sim_.now());
     queueRequest(req);
 }
 
@@ -750,6 +776,8 @@ ControllerBase::takeAfterPrefill(Request *req, Instance *inst)
     req->kvReserved = 0;
     req->instance = 0;
     req->state = RequestState::Transfer;
+    if (anat_)
+        anat_->onTransfer(*req, sim_.now());
     Bytes kv_bytes = static_cast<Bytes>(req->contextLen()) *
                      inst->model.kvBytesPerToken();
     if (trace_)
@@ -915,7 +943,7 @@ SlinferController::subsystemFor(Partition *part)
             kickPartition(part);
             retryPending();
         },
-        &index_, cfg_.oracleScans, ctr_, trace_, prof_);
+        &index_, cfg_.oracleScans, ctr_, trace_, prof_, anat_);
     return *slot;
 }
 

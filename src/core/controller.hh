@@ -303,6 +303,7 @@ class ControllerBase
     obs::Counters *ctr_ = nullptr;
     obs::TraceRecorder *trace_ = nullptr;
     obs::PhaseProfiler *prof_ = nullptr;
+    obs::AnatomyLedger *anat_ = nullptr;
 
     /** Request-track pid for a model (trace grouping). */
     static int

@@ -16,10 +16,11 @@ MemorySubsystem::MemorySubsystem(Simulator &sim, Partition &partition,
                                  ClusterIndex *index, bool oracleScans,
                                  obs::Counters *ctr,
                                  obs::TraceRecorder *trace,
-                                 obs::PhaseProfiler *prof)
+                                 obs::PhaseProfiler *prof,
+                                 obs::AnatomyLedger *anatomy)
     : sim_(sim), part_(partition), watermark_(watermark),
       notify_(std::move(notify)), index_(index), oracle_(oracleScans),
-      ctr_(ctr), trace_(trace), prof_(prof)
+      ctr_(ctr), trace_(trace), prof_(prof), anat_(anatomy)
 {
 }
 
@@ -164,6 +165,14 @@ MemorySubsystem::tryExecute(Op &op)
         if (!part_.mem.tryHold(target))
             panic("MemorySubsystem: hold failed after check");
         inst.resizeInFlight = true;
+        if (anat_) {
+            // Waiting requests stall for the resize (the ledger skips
+            // any that are mid-iteration or cold-starting).
+            for (Request *r : inst.prefillQueue)
+                anat_->onResizeStart(*r, sim_.now());
+            for (Request *r : inst.decodeBatch)
+                anat_->onResizeStart(*r, sim_.now());
+        }
         Seconds dur =
             MemCostModel::kvResizeTime(part_.spec, old_alloc, target);
         if (trace_)
@@ -203,6 +212,12 @@ MemorySubsystem::tryExecute(Op &op)
                       inst.activeAt = sim_.now();
                       if (index_)
                           index_->onInstanceActivated(inst);
+                      if (anat_) {
+                          for (Request *r : inst.prefillQueue)
+                              anat_->onInstanceActive(*r, sim_.now());
+                          for (Request *r : inst.decodeBatch)
+                              anat_->onInstanceActive(*r, sim_.now());
+                      }
                       // Admissions during the load may have raised the
                       // committed KV target past what the load held.
                       if (inst.kvTarget != inst.kv.allocBytes())
@@ -222,6 +237,13 @@ MemorySubsystem::finishResize(Instance &inst, Bytes oldAlloc,
     inst.resizeInFlight = false;
     Seconds blocked = sim_.now() - started;
     inst.scalingTime += blocked;
+    if (anat_) {
+        // Unstall before any coalesced follow-up op re-stalls them.
+        for (Request *r : inst.prefillQueue)
+            anat_->onResizeEnd(*r, sim_.now());
+        for (Request *r : inst.decodeBatch)
+            anat_->onResizeEnd(*r, sim_.now());
+    }
     // The oracle scaling sum only sees instances with activeAt >= 0;
     // pre-activation accruals are folded in at activation.
     if (index_ && inst.activeAt >= 0)

@@ -45,6 +45,7 @@
 #include "core/cluster_index.hh"
 #include "engine/instance.hh"
 #include "engine/node.hh"
+#include "obs/anatomy.hh"
 #include "obs/counters.hh"
 #include "obs/phase.hh"
 #include "obs/trace.hh"
@@ -66,7 +67,8 @@ class MemorySubsystem
                     bool oracleScans = false,
                     obs::Counters *ctr = nullptr,
                     obs::TraceRecorder *trace = nullptr,
-                    obs::PhaseProfiler *prof = nullptr);
+                    obs::PhaseProfiler *prof = nullptr,
+                    obs::AnatomyLedger *anatomy = nullptr);
 
     /** Optimistic budget: weights + committed KV target of every
      *  non-reclaimed instance on the partition. O(1) via the running
@@ -216,6 +218,7 @@ class MemorySubsystem
     obs::Counters *ctr_;
     obs::TraceRecorder *trace_;
     obs::PhaseProfiler *prof_;
+    obs::AnatomyLedger *anat_;
     std::deque<Op> station_;
     /** Instances with a parked (not yet executing) resize. */
     std::set<InstanceId> parkedResize_;

@@ -14,10 +14,11 @@ TokenScheduler::TokenScheduler(Simulator &sim, Partition &partition,
                                SchedPolicy policy, double noiseSigma,
                                Rng rng, Callbacks cbs, ClusterStats *stats,
                                ClusterIndex *index,
-                               obs::TraceRecorder *trace)
+                               obs::TraceRecorder *trace,
+                               obs::AnatomyLedger *anatomy)
     : sim_(sim), part_(partition), policy_(policy), sigma_(noiseSigma),
       rng_(rng), cbs_(std::move(cbs)), stats_(stats), index_(index),
-      trace_(trace)
+      trace_(trace), anat_(anatomy)
 {
 }
 
@@ -162,6 +163,8 @@ TokenScheduler::runPrefill(Instance *inst, Request *req)
                          obs::kPidCluster,
                          static_cast<int>(part_.viewPos), "request",
                          static_cast<double>(req->id));
+    if (anat_)
+        anat_->onPrefillStart(*req, sim_.now());
     part_.busy = true;
     busyUntil_ = sim_.now() + dur;
     inst->busyTime += dur;
@@ -186,6 +189,10 @@ TokenScheduler::runDecode(Instance *inst)
                          obs::kPidCluster,
                          static_cast<int>(part_.viewPos), "batch",
                          static_cast<double>(batch));
+    if (anat_) {
+        for (Request *r : inst->decodeBatch)
+            anat_->onDecodeIterStart(*r, sim_.now());
+    }
     part_.busy = true;
     busyUntil_ = sim_.now() + dur;
     inst->busyTime += dur;
@@ -237,6 +244,8 @@ TokenScheduler::finishIteration()
                 // Controller took the request (PD disaggregation).
             } else {
                 prefill->state = RequestState::Decode;
+                if (anat_)
+                    anat_->onPrefillEnd(*prefill, sim_.now());
                 inst->decodeBatch.push_back(prefill);
             }
         }
@@ -254,6 +263,9 @@ TokenScheduler::finishIteration()
                 if (!inst->kv.reserve(growth)) {
                     // Underestimation: this request cannot grow; it
                     // stalls until the controller grows or evicts.
+                    if (anat_)
+                        anat_->onDecodeIterEnd(*r, /*stalled=*/true,
+                                               sim_.now());
                     shortages.push_back(inst);
                     continue;
                 }
@@ -268,6 +280,9 @@ TokenScheduler::finishIteration()
                 r->kvReserved = 0;
                 r->state = RequestState::Completed;
                 done.push_back(r);
+            } else if (anat_) {
+                anat_->onDecodeIterEnd(*r, inst->resizeInFlight,
+                                       sim_.now());
             }
         }
         if (stats_) {

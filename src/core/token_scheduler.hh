@@ -29,6 +29,7 @@
 #include "core/cluster_index.hh"
 #include "engine/instance.hh"
 #include "metrics/cluster_stats.hh"
+#include "obs/anatomy.hh"
 #include "obs/trace.hh"
 #include "sim/simulator.hh"
 
@@ -59,7 +60,8 @@ class TokenScheduler
     TokenScheduler(Simulator &sim, Partition &partition, SchedPolicy policy,
                    double noiseSigma, Rng rng, Callbacks cbs,
                    ClusterStats *stats, ClusterIndex *index = nullptr,
-                   obs::TraceRecorder *trace = nullptr);
+                   obs::TraceRecorder *trace = nullptr,
+                   obs::AnatomyLedger *anatomy = nullptr);
 
     /** Start an iteration if the partition is idle and work exists. */
     void kick();
@@ -91,6 +93,8 @@ class TokenScheduler
     ClusterIndex *index_;
     /** Flight-recorder span sink (null = tracing off). */
     obs::TraceRecorder *trace_;
+    /** Latency-anatomy ledger (null = attribution off). */
+    obs::AnatomyLedger *anat_;
     Seconds busyUntil_ = 0.0;
 
     // In-flight iteration state (one iteration per partition at a time).

@@ -39,6 +39,10 @@ Session::Session(const ExperimentConfig &cfg)
     cluster_.stats = stats_.get();
     if (cfg_.windows > 0)
         recorder_.enableWindows(duration_, cfg_.windows);
+    // Anatomy blame windows share the Recorder's window grid so the
+    // report's per-window attribution lines up with its TTFT rows.
+    if (obs_ && obs_->anatomy() && cfg_.windows > 0)
+        obs_->anatomy()->configureWindows(duration_, cfg_.windows);
     stats_->start(duration_);
 
     if (cfg_.datasetPerModel.empty()) {
@@ -209,6 +213,15 @@ Session::finish()
     // Take the sample points the caller never stepped across before
     // the final drain runs past the metrics window.
     advanceSampled(duration_);
+    // Close the timeseries with a row at duration() when the run ends
+    // inside a partial cadence window (no duplicate when the duration
+    // is an exact multiple — the loop above already sampled it).
+    if (obs_ && obs_->timeseries() &&
+        nextSample_ - obs_->timeseries()->sampleEvery() < duration_) {
+        if (sim_.now() < duration_)
+            sim_.runUntil(duration_);
+        recordSample();
+    }
     // Drain: requests admitted inside the window complete past its
     // end, exactly as the one-shot driver always ran them.
     sim_.run();
@@ -224,9 +237,56 @@ Session::finish()
         report.counters.reserve(obs::kNumCounters);
         for (std::size_t i = 0; i < obs::kNumCounters; ++i)
             report.counters.emplace_back(obs::counterName(i), c.v[i]);
+        // Ring-overwrite visibility: how many trace events were lost.
+        // Appended past the registry so counters-only runs keep the
+        // exact registry-order snapshot.
+        if (obs_->trace())
+            report.counters.emplace_back("trace_dropped",
+                                         obs_->trace()->dropped());
     }
     if (obs_ && obs_->profiler())
         obs::addPhaseTotals(*obs_->profiler());
+    if (obs_ && obs_->anatomy()) {
+        obs::AnatomyLedger &led = *obs_->anatomy();
+        led.finalize(sim_.now());
+        Report::Attribution &a = report.attribution;
+        a.enabled = true;
+        a.requests = led.closedCount();
+        a.violations = led.violationCount();
+        a.segments.reserve(obs::kNumSegs);
+        for (std::size_t s = 0; s < obs::kNumSegs; ++s) {
+            obs::AnatomyLedger::SegAggregate agg = led.segment(s);
+            Report::Attribution::Segment row;
+            row.name = obs::segName(s);
+            row.count = agg.count;
+            row.totalS = static_cast<double>(agg.totalNs) * 1e-9;
+            row.p50s = agg.p50s;
+            row.p95s = agg.p95s;
+            row.p99s = agg.p99s;
+            row.blamed = agg.blamed;
+            a.segments.push_back(std::move(row));
+        }
+        const std::vector<std::vector<std::uint64_t>> &per_model =
+            led.perModel();
+        for (std::size_t m = 0; m < per_model.size(); ++m) {
+            bool any = false;
+            for (std::uint64_t v : per_model[m])
+                any = any || v != 0;
+            if (!any)
+                continue; // only models that blamed something
+            Report::Attribution::ModelBlame row;
+            // "m<id>:<name>": fleet scenarios deploy many models with
+            // the same spec name, so the id keeps rows unambiguous.
+            row.model = "m" + std::to_string(m) +
+                        (m < controller_->models().size()
+                             ? ":" + controller_->models()[m].spec.name
+                             : "");
+            row.blamed = per_model[m];
+            a.perModel.push_back(std::move(row));
+        }
+        a.windowLen = led.windowLength();
+        a.perWindow = led.perWindow();
+    }
     return report;
 }
 

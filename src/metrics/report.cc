@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/table.hh"
 #include "metrics/cluster_stats.hh"
 #include "metrics/recorder.hh"
 
@@ -114,6 +115,23 @@ reportScalarMetrics(const Report &r)
     };
 }
 
+std::vector<std::pair<std::string, double>>
+reportAttributionMetrics(const Report &r)
+{
+    std::vector<std::pair<std::string, double>> out;
+    if (!r.attribution.enabled)
+        return out;
+    out.emplace_back("attr_violations",
+                     static_cast<double>(r.attribution.violations));
+    for (const Report::Attribution::Segment &s : r.attribution.segments) {
+        out.emplace_back("seg_" + s.name + "_total_s", s.totalS);
+        out.emplace_back("seg_" + s.name + "_p95_s", s.p95s);
+        out.emplace_back("seg_" + s.name + "_blamed",
+                         static_cast<double>(s.blamed));
+    }
+    return out;
+}
+
 namespace
 {
 
@@ -176,6 +194,42 @@ emitJson(const Report &r, const char *nl, const char *indent,
         }
         os << "}";
     }
+    // Attribution only when the run enabled the anatomy ledger, so
+    // uninstrumented reports stay byte-identical.
+    if (r.attribution.enabled) {
+        const Report::Attribution &a = r.attribution;
+        os << "," << nl << indent << "\"attribution\": {";
+        os << "\"requests\": " << a.requests
+           << ", \"violations\": " << a.violations;
+        os << ", \"segments\": [";
+        for (std::size_t i = 0; i < a.segments.size(); ++i) {
+            const Report::Attribution::Segment &s = a.segments[i];
+            os << (i ? ", " : "") << "{\"name\": \""
+               << jsonEscape(s.name) << "\", \"count\": " << s.count
+               << ", \"total_s\": " << s.totalS
+               << ", \"p50_s\": " << s.p50s << ", \"p95_s\": " << s.p95s
+               << ", \"p99_s\": " << s.p99s
+               << ", \"blamed\": " << s.blamed << "}";
+        }
+        os << "], \"per_model\": [";
+        for (std::size_t i = 0; i < a.perModel.size(); ++i) {
+            os << (i ? ", " : "") << "{\"model\": \""
+               << jsonEscape(a.perModel[i].model) << "\", \"blamed\": [";
+            const std::vector<std::uint64_t> &b = a.perModel[i].blamed;
+            for (std::size_t j = 0; j < b.size(); ++j)
+                os << (j ? ", " : "") << b[j];
+            os << "]}";
+        }
+        os << "], \"window_len\": " << a.windowLen
+           << ", \"per_window\": [";
+        for (std::size_t i = 0; i < a.perWindow.size(); ++i) {
+            os << (i ? ", " : "") << "[";
+            for (std::size_t j = 0; j < a.perWindow[i].size(); ++j)
+                os << (j ? ", " : "") << a.perWindow[i][j];
+            os << "]";
+        }
+        os << "]}";
+    }
     os << nl << "}";
     return os.str();
 }
@@ -217,6 +271,88 @@ std::string
 reportCountersCsvHeader()
 {
     return "system,scenario,seed,counter,value";
+}
+
+std::string
+renderAttribution(const Report &r)
+{
+    const Report::Attribution &a = r.attribution;
+    if (!a.enabled)
+        return "";
+    std::ostringstream os;
+    os << "latency anatomy";
+    if (!r.scenario.empty())
+        os << ": " << r.scenario << "/" << r.system << " seed " << r.seed;
+    os << "\n  requests closed: " << a.requests
+       << "   slo violations: " << a.violations << "\n\n";
+
+    Table segs({"segment", "count", "total_s", "p50_s", "p95_s", "p99_s",
+                "blamed"});
+    for (const Report::Attribution::Segment &s : a.segments) {
+        segs.addRow({s.name, Table::num((long long)s.count),
+                     Table::num(s.totalS, 3), Table::num(s.p50s, 4),
+                     Table::num(s.p95s, 4), Table::num(s.p99s, 4),
+                     Table::num((long long)s.blamed)});
+    }
+    segs.print(os);
+
+    auto segLabel = [&](std::size_t s) {
+        return s < a.segments.size() ? a.segments[s].name
+                                     : "seg_" + std::to_string(s);
+    };
+    auto blameLine = [&](const std::vector<std::uint64_t> &blamed) {
+        std::string out;
+        std::size_t best = 0;
+        for (std::size_t s = 0; s < blamed.size(); ++s) {
+            if (blamed[s] > blamed[best])
+                best = s;
+            if (blamed[s] == 0)
+                continue;
+            if (!out.empty())
+                out += " ";
+            out += segLabel(s) + "=" + std::to_string(blamed[s]);
+        }
+        if (!out.empty())
+            out += "  (dominant: " + segLabel(best) + ")";
+        return out;
+    };
+
+    if (!a.perModel.empty()) {
+        os << "\nviolation blame by model:\n";
+        for (const Report::Attribution::ModelBlame &m : a.perModel)
+            os << "  " << m.model << ": " << blameLine(m.blamed) << "\n";
+    }
+    if (!a.perWindow.empty()) {
+        os << "\nviolation blame by window (" << a.windowLen << " s):\n";
+        for (std::size_t w = 0; w < a.perWindow.size(); ++w) {
+            std::string line = blameLine(a.perWindow[w]);
+            os << "  [" << static_cast<double>(w) * a.windowLen << ", "
+               << static_cast<double>(w + 1) * a.windowLen
+               << "): " << (line.empty() ? "-" : line) << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+reportAttributionCsvHeader()
+{
+    return "system,scenario,seed,segment,count,total_s,p50_s,p95_s,"
+           "p99_s,blamed";
+}
+
+std::string
+toAttributionCsvRows(const Report &r)
+{
+    std::ostringstream os;
+    os.precision(10);
+    for (const Report::Attribution::Segment &s : r.attribution.segments) {
+        os << csvField(r.system) << ',' << csvField(r.scenario) << ','
+           << r.seed << ',' << csvField(s.name) << ',' << s.count << ','
+           << s.totalS << ',' << s.p50s << ',' << s.p95s << ','
+           << s.p99s << ',' << s.blamed << '\n';
+    }
+    return os.str();
 }
 
 std::string

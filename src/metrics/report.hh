@@ -80,6 +80,46 @@ struct Report
      *  counters, so plain reports stay byte-identical. */
     std::vector<std::pair<std::string, std::uint64_t>> counters;
 
+    /**
+     * Latency anatomy & SLO attribution (obs/anatomy.hh). Emitted
+     * only when the run enabled the anatomy ledger, so uninstrumented
+     * reports stay byte-identical. Segment rows are in the fixed Seg
+     * enum order; blame vectors are indexed likewise.
+     */
+    struct Attribution
+    {
+        bool enabled = false;
+        /** Closed anatomy records (== requests that ended). */
+        std::uint64_t requests = 0;
+        /** SLO violations attributed (drops count as violations). */
+        std::uint64_t violations = 0;
+
+        struct Segment
+        {
+            std::string name;         ///< obs::segName
+            std::uint64_t count = 0;  ///< requests with a nonzero span
+            double totalS = 0.0;      ///< summed span, seconds
+            double p50s = 0.0;
+            double p95s = 0.0;
+            double p99s = 0.0;
+            std::uint64_t blamed = 0; ///< violations blaming this seg
+        };
+        std::vector<Segment> segments;
+
+        struct ModelBlame
+        {
+            std::string model;
+            std::vector<std::uint64_t> blamed; ///< per segment
+        };
+        std::vector<ModelBlame> perModel;
+
+        /** Per-window violation blame (rows of per-segment counts);
+         *  empty unless the run was windowed. */
+        double windowLen = 0.0;
+        std::vector<std::vector<std::uint64_t>> perWindow;
+    };
+    Attribution attribution;
+
     /** Build the summary from the two collectors. */
     static Report build(const std::string &system, const Recorder &rec,
                         const ClusterStats &stats,
@@ -100,6 +140,16 @@ std::string toJsonLine(const Report &report);
 std::vector<std::pair<std::string, double>>
 reportScalarMetrics(const Report &report);
 
+/**
+ * The attribution block's sweep-facing metrics as (json_key, value)
+ * pairs: per segment seg_<name>_total_s / seg_<name>_p95_s /
+ * seg_<name>_blamed, plus attr_violations. Empty when the report has
+ * no attribution block, so sweeps over uninstrumented runs are
+ * unchanged (the summary and gate skip missing metrics).
+ */
+std::vector<std::pair<std::string, double>>
+reportAttributionMetrics(const Report &report);
+
 /** Header line matching toCsvRow (scalar fields only). */
 std::string reportCsvHeader();
 
@@ -108,6 +158,22 @@ std::string reportWindowsCsvHeader();
 
 /** Header line matching toCountersCsvRows. */
 std::string reportCountersCsvHeader();
+
+/** Header line matching toAttributionCsvRows. */
+std::string reportAttributionCsvHeader();
+
+/** One CSV row per anatomy segment (empty string when the run did not
+ *  enable attribution); rows carry system/scenario/seed so the table
+ *  self-identifies. */
+std::string toAttributionCsvRows(const Report &report);
+
+/**
+ * Human-readable rendering of the attribution block: the per-segment
+ * latency-anatomy table, then violation blame by model and by window.
+ * Shared by `slinfer_run --explain` and the slinfer_explain tool so
+ * the two cannot drift. Empty string when the report has no block.
+ */
+std::string renderAttribution(const Report &report);
 
 /** One CSV row per flight-recorder counter (empty string when the run
  *  did not enable counters); rows carry system/scenario/seed so the

@@ -1,0 +1,293 @@
+#include "obs/anatomy.hh"
+
+#include <algorithm>
+
+namespace slinfer
+{
+namespace obs
+{
+
+void
+AnatomyLedger::configureWindows(double duration, int n)
+{
+    if (n <= 0 || duration <= 0.0)
+        return;
+    windows_ = n;
+    windowLen_ = duration / n;
+    perWindowBlame_.assign(static_cast<std::size_t>(n),
+                           std::vector<std::uint64_t>(kNumSegs, 0));
+}
+
+AnatomyRecord *
+AnatomyLedger::find(const Request &r)
+{
+    auto it = open_.find(r.id);
+    return it == open_.end() ? nullptr : &it->second;
+}
+
+void
+AnatomyLedger::transition(AnatomyRecord &r, Seg next, Seconds now)
+{
+    std::int64_t t = anatomyNs(now);
+    r.segNs[r.cur] += t - r.lastNs;
+    r.lastNs = t;
+    r.cur = next;
+}
+
+void
+AnatomyLedger::onArrival(const Request &r, Seconds now)
+{
+    AnatomyRecord rec;
+    rec.id = r.id;
+    rec.model = r.model;
+    rec.startNs = anatomyNs(now);
+    rec.lastNs = rec.startNs;
+    rec.cur = kSegQueueWait;
+    open_.emplace(r.id, rec);
+}
+
+void
+AnatomyLedger::onPlacementRetry(const Request &r)
+{
+    // Retry *time* stays in the current wait segment (queue_wait or
+    // rewind); the count alone records how hard placement fought.
+    if (AnatomyRecord *rec = find(r))
+        ++rec->placementRetries;
+}
+
+void
+AnatomyLedger::onAdmit(const Request &r, bool loading, Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, loading ? kSegColdStart : kSegPrefillWait, now);
+}
+
+void
+AnatomyLedger::onDecodeAdmit(const Request &r, bool loading, Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, loading ? kSegColdStart : kSegDecodeGap, now);
+}
+
+void
+AnatomyLedger::onEvicted(const Request &r, Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, kSegRewind, now);
+}
+
+void
+AnatomyLedger::onTransfer(const Request &r, Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, kSegPdTransfer, now);
+}
+
+void
+AnatomyLedger::onPrefillStart(const Request &r, Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, kSegPrefill, now);
+}
+
+void
+AnatomyLedger::onPrefillEnd(const Request &r, Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, kSegDecodeGap, now);
+}
+
+void
+AnatomyLedger::onDecodeIterStart(const Request &r, Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, kSegDecode, now);
+}
+
+void
+AnatomyLedger::onDecodeIterEnd(const Request &r, bool stalled,
+                               Seconds now)
+{
+    if (AnatomyRecord *rec = find(r))
+        transition(*rec, stalled ? kSegKvStall : kSegDecodeGap, now);
+}
+
+void
+AnatomyLedger::onInstanceActive(const Request &r, Seconds now)
+{
+    AnatomyRecord *rec = find(r);
+    // Only requests actually waiting on the cold start move; a request
+    // that joined after activation (impossible today, cheap to guard)
+    // keeps its segment.
+    if (rec && rec->cur == kSegColdStart) {
+        transition(*rec,
+                   r.state == RequestState::Decode ? kSegDecodeGap
+                                                   : kSegPrefillWait,
+                   now);
+    }
+}
+
+void
+AnatomyLedger::onResizeStart(const Request &r, Seconds now)
+{
+    AnatomyRecord *rec = find(r);
+    // A resize only stalls requests that are *waiting* for an
+    // iteration; one already executing (or cold-starting, or in
+    // transfer) is not blocked by it.
+    if (rec &&
+        (rec->cur == kSegPrefillWait || rec->cur == kSegDecodeGap))
+        transition(*rec, kSegKvStall, now);
+}
+
+void
+AnatomyLedger::onResizeEnd(const Request &r, Seconds now)
+{
+    AnatomyRecord *rec = find(r);
+    if (rec && rec->cur == kSegKvStall) {
+        transition(*rec,
+                   r.state == RequestState::Decode ? kSegDecodeGap
+                                                   : kSegPrefillWait,
+                   now);
+    }
+}
+
+void
+AnatomyLedger::onComplete(const Request &r, Seconds now)
+{
+    auto it = open_.find(r.id);
+    if (it == open_.end())
+        return;
+    close(it->second, now, /*dropped=*/false, r.sloViolated);
+    open_.erase(it);
+}
+
+void
+AnatomyLedger::onDrop(const Request &r, Seconds now)
+{
+    auto it = open_.find(r.id);
+    if (it == open_.end())
+        return;
+    close(it->second, now, /*dropped=*/true, /*violated=*/true);
+    open_.erase(it);
+}
+
+void
+AnatomyLedger::finalize(Seconds now)
+{
+    // The Session drains the simulator before finalize, so this is
+    // normally a no-op; a stepwise caller that stops early still gets
+    // exact (non-violation) records for in-flight requests. Drain ids
+    // first: close() mutates aggregates, not the map.
+    std::vector<RequestId> ids;
+    ids.reserve(open_.size());
+    for (const auto &kv : open_)
+        ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    for (RequestId id : ids) {
+        auto it = open_.find(id);
+        close(it->second, now, /*dropped=*/false, /*violated=*/false);
+        open_.erase(it);
+    }
+}
+
+void
+AnatomyLedger::close(AnatomyRecord &r, Seconds now, bool dropped,
+                     bool violated)
+{
+    std::int64_t t = anatomyNs(now);
+    r.segNs[r.cur] += t - r.lastNs;
+    r.lastNs = t;
+    r.endNs = t;
+    r.dropped = dropped;
+    r.violated = violated;
+    ++closed_;
+    if (violated) {
+        r.blame = r.dominant();
+        ++violations_;
+        ++segs_[r.blame].blamed;
+        if (perModelBlame_.size() <= r.model)
+            perModelBlame_.resize(r.model + 1,
+                                  std::vector<std::uint64_t>(kNumSegs,
+                                                             0));
+        ++perModelBlame_[r.model][r.blame];
+        if (windows_ > 0) {
+            double endS = static_cast<double>(t) * 1e-9;
+            int w = static_cast<int>(endS / windowLen_);
+            w = std::max(0, std::min(windows_ - 1, w));
+            ++perWindowBlame_[static_cast<std::size_t>(w)][r.blame];
+        }
+    }
+    for (std::size_t s = 0; s < kNumSegs; ++s) {
+        if (r.segNs[s] <= 0)
+            continue;
+        SegTotals &agg = segs_[s];
+        ++agg.count;
+        agg.totalNs += r.segNs[s];
+        if (agg.hist.empty())
+            agg.hist.assign(kBins, 0);
+        ++agg.hist[binOf(r.segNs[s])];
+    }
+    if (retain_)
+        records_.push_back(r);
+}
+
+std::size_t
+AnatomyLedger::binOf(std::int64_t ns)
+{
+    std::uint64_t v = static_cast<std::uint64_t>(ns);
+    // Values below one octave-splitting threshold are exact bins.
+    if (v < 16)
+        return static_cast<std::size_t>(v);
+    std::size_t o = 63;
+    while (!(v >> o))
+        --o;
+    std::size_t sub = static_cast<std::size_t>((v >> (o - 4)) & 0xF);
+    return o * 16 + sub;
+}
+
+double
+AnatomyLedger::binRepresentativeSeconds(std::size_t bin)
+{
+    if (bin < 16)
+        return static_cast<double>(bin) * 1e-9;
+    std::size_t o = bin / 16;
+    std::size_t sub = bin % 16;
+    // Geometric-ish midpoint of [2^o * (1 + sub/16), next bin); exact
+    // in binary floating point, so deterministic across platforms.
+    return std::ldexp(1.0 + (static_cast<double>(sub) + 0.5) / 16.0,
+                      static_cast<int>(o)) *
+           1e-9;
+}
+
+AnatomyLedger::SegAggregate
+AnatomyLedger::segment(std::size_t s) const
+{
+    SegAggregate out;
+    if (s >= kNumSegs)
+        return out;
+    const SegTotals &agg = segs_[s];
+    out.count = agg.count;
+    out.totalNs = agg.totalNs;
+    out.blamed = agg.blamed;
+    if (agg.count == 0)
+        return out;
+    // Nearest-rank percentiles over the log-scaled histogram.
+    auto quantile = [&](double q) {
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(agg.count - 1));
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < agg.hist.size(); ++b) {
+            seen += agg.hist[b];
+            if (seen > rank)
+                return binRepresentativeSeconds(b);
+        }
+        return binRepresentativeSeconds(agg.hist.size() - 1);
+    };
+    out.p50s = quantile(0.50);
+    out.p95s = quantile(0.95);
+    out.p99s = quantile(0.99);
+    return out;
+}
+
+} // namespace obs
+} // namespace slinfer

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Latency anatomy: an exact, streaming decomposition of every
+ * request's end-to-end sim-time into non-overlapping segments, plus a
+ * blame taxonomy that names the dominant segment of each SLO
+ * violation.
+ *
+ * The ledger is a per-request state machine fed by hooks at the
+ * points the controller, token scheduler and memory subsystem already
+ * touch. Boundaries are integer nanoseconds (llround of sim seconds),
+ * and a transition closes the current segment with the difference of
+ * consecutive boundaries, so the segments of a closed record
+ * telescope: they sum *exactly* (integer equality) to its measured
+ * end-to-end latency (tests/test_anatomy.cc fuzzes this across
+ * seeds).
+ *
+ * Like every flight-recorder sink, hot paths hold a nullable
+ * `AnatomyLedger *` — the disabled cost is one pointer test — and the
+ * ledger never feeds back into the simulation, so reports stay
+ * byte-identical with attribution on vs off. Memory is bounded: the
+ * open map tracks only in-flight requests; closed records fold into
+ * fixed-size aggregates (per-segment log-scaled histograms for
+ * percentiles, per-model and per-window blame counts) unless a test
+ * opts into retention with retainRecords().
+ */
+
+#ifndef SLINFER_OBS_ANATOMY_HH
+#define SLINFER_OBS_ANATOMY_HH
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/request.hh"
+
+namespace slinfer
+{
+namespace obs
+{
+
+/**
+ * Every anatomy segment. Order is the blame tie-break order (ties on
+ * equal dominant duration go to the lower index) and the stable
+ * output order of the Report "attribution" block — append only.
+ */
+enum Seg : std::size_t
+{
+    kSegQueueWait,   ///< arrival → admission (incl. placement retries)
+    kSegRewind,      ///< eviction/failure → re-admission
+    kSegColdStart,   ///< admitted to a Loading instance → weights live
+    kSegPrefillWait, ///< in an Active instance's prefill queue
+    kSegKvStall,     ///< blocked on a KV resize or shortage
+    kSegPrefill,     ///< executing its prefill iteration
+    kSegDecodeGap,   ///< in the decode batch, between iterations
+    kSegDecode,      ///< executing a decode iteration
+    kSegPdTransfer,  ///< KV in flight / awaiting decode admission (PD)
+    kNumSegs
+};
+
+/** Stable snake_case name of segment `s` (JSON key / blame cause). */
+inline const char *
+segName(std::size_t s)
+{
+    static const char *const kNames[kNumSegs] = {
+        "queue_wait", "rewind",     "cold_start",
+        "prefill_wait", "kv_stall", "prefill",
+        "decode_gap", "decode",     "pd_transfer",
+    };
+    return s < kNumSegs ? kNames[s] : "?";
+}
+
+/** Convert sim seconds to the ledger's integer-ns timeline. */
+inline std::int64_t
+anatomyNs(Seconds t)
+{
+    return static_cast<std::int64_t>(std::llround(t * 1e9));
+}
+
+/**
+ * One request's anatomy. While open, `cur`/`lastNs` carry the state
+ * machine; once closed, segNs[] telescopes to endNs - startNs.
+ */
+struct AnatomyRecord
+{
+    RequestId id = 0;
+    ModelId model = 0;
+    std::int64_t startNs = 0;
+    std::int64_t endNs = 0;
+    std::int64_t segNs[kNumSegs] = {};
+    int placementRetries = 0;
+    bool dropped = false;
+    /** SLO violated (every drop counts as a violation). */
+    bool violated = false;
+    /** Dominant segment; meaningful only when `violated`. */
+    Seg blame = kSegQueueWait;
+
+    // Open-state machinery (harmless leftovers in retained copies).
+    Seg cur = kSegQueueWait;
+    std::int64_t lastNs = 0;
+
+    std::int64_t e2eNs() const { return endNs - startNs; }
+
+    /** Argmax segment by duration, enum-order tie-break. */
+    Seg dominant() const
+    {
+        std::size_t best = 0;
+        for (std::size_t s = 1; s < kNumSegs; ++s)
+            if (segNs[s] > segNs[best])
+                best = s;
+        return static_cast<Seg>(best);
+    }
+};
+
+/**
+ * The attribution engine. All hooks are O(1) hash-map operations on
+ * integer state; aggregation happens once per request at close time,
+ * in event order, so results are deterministic.
+ */
+class AnatomyLedger
+{
+  public:
+    /** Log-scaled duration histogram: 16 sub-bins per octave over
+     *  64 octaves of nanoseconds (~4.4% relative bin width). */
+    static constexpr std::size_t kBins = 64 * 16;
+
+    /** Per-segment aggregate across all closed records. */
+    struct SegAggregate
+    {
+        std::uint64_t count = 0;  ///< requests with a nonzero span
+        std::int64_t totalNs = 0; ///< exact total across all requests
+        std::uint64_t blamed = 0; ///< violations blaming this segment
+        double p50s = 0.0;        ///< percentiles over nonzero spans,
+        double p95s = 0.0;        ///< in seconds (histogram bin
+        double p99s = 0.0;        ///< representatives; ~4% resolution)
+    };
+
+    AnatomyLedger() = default;
+
+    /** Bucket violation blame into `n` equal windows of `duration`
+     *  (same clamping as the Recorder's windowed metrics). */
+    void configureWindows(double duration, int n);
+
+    /** Keep every closed AnatomyRecord (tests only; unbounded). */
+    void retainRecords(bool on) { retain_ = on; }
+
+    // ---- controller hooks -------------------------------------------
+    void onArrival(const Request &r, Seconds now);
+    void onPlacementRetry(const Request &r);
+    void onAdmit(const Request &r, bool loading, Seconds now);
+    void onDecodeAdmit(const Request &r, bool loading, Seconds now);
+    void onEvicted(const Request &r, Seconds now);
+    void onTransfer(const Request &r, Seconds now);
+    void onComplete(const Request &r, Seconds now);
+    void onDrop(const Request &r, Seconds now);
+    // ---- token-scheduler hooks --------------------------------------
+    void onPrefillStart(const Request &r, Seconds now);
+    void onPrefillEnd(const Request &r, Seconds now);
+    void onDecodeIterStart(const Request &r, Seconds now);
+    void onDecodeIterEnd(const Request &r, bool stalled, Seconds now);
+    // ---- memory-subsystem hooks -------------------------------------
+    void onInstanceActive(const Request &r, Seconds now);
+    void onResizeStart(const Request &r, Seconds now);
+    void onResizeEnd(const Request &r, Seconds now);
+
+    /** Close any still-open records (no violation attributed); call
+     *  once after the simulation drains. */
+    void finalize(Seconds now);
+
+    // ---- aggregates -------------------------------------------------
+    std::uint64_t closedCount() const { return closed_; }
+    std::uint64_t violationCount() const { return violations_; }
+    std::size_t openCount() const { return open_.size(); }
+
+    /** Aggregate for segment `s`, percentiles filled in. */
+    SegAggregate segment(std::size_t s) const;
+
+    /** Violation blame counts per model id (rows lazily sized). */
+    const std::vector<std::vector<std::uint64_t>> &perModel() const
+    {
+        return perModelBlame_;
+    }
+
+    /** Violation blame counts per window (empty unless configured). */
+    const std::vector<std::vector<std::uint64_t>> &perWindow() const
+    {
+        return perWindowBlame_;
+    }
+
+    int windows() const { return windows_; }
+    double windowLength() const { return windowLen_; }
+
+    /** Closed records, in close order (only with retainRecords). */
+    const std::vector<AnatomyRecord> &records() const { return records_; }
+
+  private:
+    void transition(AnatomyRecord &r, Seg next, Seconds now);
+    void close(AnatomyRecord &r, Seconds now, bool dropped,
+               bool violated);
+    AnatomyRecord *find(const Request &r);
+
+    static std::size_t binOf(std::int64_t ns);
+    static double binRepresentativeSeconds(std::size_t bin);
+
+    std::unordered_map<RequestId, AnatomyRecord> open_;
+    std::uint64_t closed_ = 0;
+    std::uint64_t violations_ = 0;
+
+    struct SegTotals
+    {
+        std::uint64_t count = 0;
+        std::int64_t totalNs = 0;
+        std::uint64_t blamed = 0;
+        std::vector<std::uint64_t> hist; // lazily sized to kBins
+    };
+    SegTotals segs_[kNumSegs];
+
+    std::vector<std::vector<std::uint64_t>> perModelBlame_;
+    std::vector<std::vector<std::uint64_t>> perWindowBlame_;
+    int windows_ = 0;
+    double windowLen_ = 0.0;
+
+    bool retain_ = false;
+    std::vector<AnatomyRecord> records_;
+};
+
+} // namespace obs
+} // namespace slinfer
+
+#endif // SLINFER_OBS_ANATOMY_HH

@@ -67,11 +67,14 @@ struct ObsConfig
     double sampleEvery = 0.0;
     /** Attribute host wall-clock to phases (phase.hh). */
     bool phaseProfile = false;
+    /** Latency anatomy + SLO blame attribution (anatomy.hh). */
+    bool anatomy = false;
 
     /** True iff any component is enabled. */
     bool any() const
     {
-        return counters || trace || sampleEvery > 0.0 || phaseProfile;
+        return counters || trace || sampleEvery > 0.0 || phaseProfile ||
+               anatomy;
     }
 };
 

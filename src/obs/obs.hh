@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "obs/anatomy.hh"
 #include "obs/config.hh"
 #include "obs/counters.hh"
 #include "obs/phase.hh"
@@ -40,23 +41,28 @@ class FlightRecorder
             timeseries_ = std::make_unique<Timeseries>(cfg.sampleEvery);
         if (cfg.phaseProfile)
             profiler_ = std::make_unique<PhaseProfiler>();
+        if (cfg.anatomy)
+            anatomy_ = std::make_unique<AnatomyLedger>();
     }
 
     Counters *counters() { return counters_.get(); }
     TraceRecorder *trace() { return trace_.get(); }
     Timeseries *timeseries() { return timeseries_.get(); }
     PhaseProfiler *profiler() { return profiler_.get(); }
+    AnatomyLedger *anatomy() { return anatomy_.get(); }
 
     const Counters *counters() const { return counters_.get(); }
     const TraceRecorder *trace() const { return trace_.get(); }
     const Timeseries *timeseries() const { return timeseries_.get(); }
     const PhaseProfiler *profiler() const { return profiler_.get(); }
+    const AnatomyLedger *anatomy() const { return anatomy_.get(); }
 
   private:
     std::unique_ptr<Counters> counters_;
     std::unique_ptr<TraceRecorder> trace_;
     std::unique_ptr<Timeseries> timeseries_;
     std::unique_ptr<PhaseProfiler> profiler_;
+    std::unique_ptr<AnatomyLedger> anatomy_;
 };
 
 } // namespace obs

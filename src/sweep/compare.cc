@@ -21,6 +21,15 @@ defaultGateMetrics()
         {"slo_rate", true, 0.01},
         {"p50_ttft", false, 0.05},
         {"p95_ttft", false, 0.05},
+        // Latency-anatomy gates: present only when the sweep ran with
+        // --attribution (compare() skips metrics missing on either
+        // side), and then a TTFT regression names the segment that
+        // moved instead of just the total.
+        {"seg_queue_wait_p95_s", false, 0.05},
+        {"seg_cold_start_p95_s", false, 0.05},
+        {"seg_kv_stall_p95_s", false, 0.05},
+        {"seg_decode_gap_p95_s", false, 0.05},
+        {"seg_rewind_p95_s", false, 0.05},
     };
 }
 

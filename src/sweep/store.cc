@@ -50,6 +50,56 @@ reportFromJson(const JsonValue &v)
     };
     pairs(v.find("ttft_cdf"), r.ttftCdf);
     pairs(v.find("gpu_timeline"), r.gpuTimeline);
+    // The attribution block must round-trip: resumed/compacted sweeps
+    // aggregate cached reports, and the summary's seg_* metrics have
+    // to come out identical to a fresh run's.
+    const JsonValue *attr = v.find("attribution");
+    if (attr && attr->isObject()) {
+        Report::Attribution &a = r.attribution;
+        a.enabled = true;
+        a.requests = static_cast<std::uint64_t>(attr->num("requests"));
+        a.violations =
+            static_cast<std::uint64_t>(attr->num("violations"));
+        if (const JsonValue *segs = attr->find("segments");
+            segs && segs->isArray()) {
+            for (const JsonValue &sv : segs->array) {
+                Report::Attribution::Segment s;
+                s.name = sv.string("name");
+                s.count = static_cast<std::uint64_t>(sv.num("count"));
+                s.totalS = sv.num("total_s");
+                s.p50s = sv.num("p50_s");
+                s.p95s = sv.num("p95_s");
+                s.p99s = sv.num("p99_s");
+                s.blamed = static_cast<std::uint64_t>(sv.num("blamed"));
+                a.segments.push_back(std::move(s));
+            }
+        }
+        auto blameRow = [](const JsonValue &arr) {
+            std::vector<std::uint64_t> out;
+            for (const JsonValue &e : arr.array)
+                out.push_back(static_cast<std::uint64_t>(e.number));
+            return out;
+        };
+        if (const JsonValue *pm = attr->find("per_model");
+            pm && pm->isArray()) {
+            for (const JsonValue &mv : pm->array) {
+                Report::Attribution::ModelBlame row;
+                row.model = mv.string("model");
+                if (const JsonValue *b = mv.find("blamed");
+                    b && b->isArray())
+                    row.blamed = blameRow(*b);
+                a.perModel.push_back(std::move(row));
+            }
+        }
+        a.windowLen = attr->num("window_len");
+        if (const JsonValue *pw = attr->find("per_window");
+            pw && pw->isArray()) {
+            for (const JsonValue &wv : pw->array) {
+                if (wv.isArray())
+                    a.perWindow.push_back(blameRow(wv));
+            }
+        }
+    }
     return r;
 }
 

@@ -329,7 +329,7 @@ applyOverrides(ExperimentConfig cfg, const OverrideSet &overrides)
 }
 
 Report
-runJob(const JobSpec &job, bool phaseProfile)
+runJob(const JobSpec &job, bool phaseProfile, bool attribution)
 {
     const scenario::Scenario *sc = scenario::byName(job.scenario);
     if (!sc)
@@ -337,6 +337,7 @@ runJob(const JobSpec &job, bool phaseProfile)
     ExperimentConfig cfg = applyOverrides(
         sc->toExperiment(job.system, job.seed), job.overrides);
     cfg.obs.phaseProfile = phaseProfile;
+    cfg.obs.anatomy = attribution;
     Report report = runExperiment(cfg);
     report.scenario = job.scenario;
     report.seed = job.seed;
@@ -394,7 +395,8 @@ runGrid(const Grid &grid, const RunOptions &opts, RunStats *stats)
         // every exit path, so an idle worker's later messages never
         // carry a stale "job N/M" prefix.
         LogTagScope tag_scope(tag.str());
-        Report report = runJob(jobs[i], opts.phaseProfile);
+        Report report = runJob(jobs[i], opts.phaseProfile,
+                               opts.attribution);
         store.append(jobs[i], report);
         records[i].report = std::move(report);
         report_progress(jobs[i], false);

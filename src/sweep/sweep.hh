@@ -133,8 +133,11 @@ ExperimentConfig applyOverrides(ExperimentConfig cfg,
 
 /** Run one job to completion (scenario lookup + overrides + harness).
  *  `phaseProfile` turns on wall-clock phase attribution (obs/phase.hh);
- *  it never changes the report's bytes. */
-Report runJob(const JobSpec &job, bool phaseProfile = false);
+ *  it never changes the report's bytes. `attribution` enables the
+ *  latency-anatomy ledger (obs/anatomy.hh), which adds the report's
+ *  "attribution" block without touching any other byte. */
+Report runJob(const JobSpec &job, bool phaseProfile = false,
+              bool attribution = false);
 
 /** One finished job: its spec plus the report it produced. */
 struct Record
@@ -165,6 +168,10 @@ struct RunOptions
      *  controller decide, memory ops); read the totals back with
      *  obs::phaseTotalsSnapshot(). Reports are unaffected. */
     bool phaseProfile = false;
+    /** Run every job with the latency-anatomy ledger on: reports grow
+     *  an "attribution" block and the summary gains seg_* metrics.
+     *  All pre-existing report bytes are unchanged. */
+    bool attribution = false;
 };
 
 /** Execution accounting for progress/perf reporting. */

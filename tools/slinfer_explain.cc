@@ -1,0 +1,491 @@
+/**
+ * @file
+ * slinfer_explain: render the latency anatomy & SLO attribution of a
+ * run — which segment of each request's life the time went to, and
+ * what the violated deadlines blame.
+ *
+ * Two inputs:
+ *
+ *   slinfer_explain report.json            # from slinfer_run --explain
+ *   slinfer_explain --trace=trace.json     # post-hoc, from a Chrome
+ *                                          # trace (slinfer_run --trace)
+ *
+ * Report mode reads the report's "attribution" block (the exact
+ * integer-ns anatomy recorded live by obs/anatomy.hh) and prints the
+ * same table `slinfer_run --explain` shows. Trace mode reconstructs an
+ * approximate anatomy from the request-lifecycle spans of a trace that
+ * was recorded *without* the ledger: queue wait, rewinds (re-queued
+ * after eviction/failure), PD transfer and a lumped serving segment —
+ * decode iterations carry no request ids in the trace, so exec time
+ * cannot be split further post hoc; run with --explain for the exact
+ * breakdown.
+ *
+ * CI assertion (exit 1 on failure):
+ *   slinfer_explain report.json --assert-blame=cold_start,queue_wait \
+ *                   --at=450
+ * passes iff the blame window containing t=450s has at least one
+ * violation and its dominant cause is one of the listed segments
+ * (without --at, the whole run's dominant cause is checked).
+ *
+ * Exit code: 0 ok, 1 failed assertion or invalid input, 2 usage error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hh"
+#include "sweep/json.hh"
+
+using namespace slinfer;
+using sweep::JsonValue;
+using sweep::parseJson;
+
+namespace
+{
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: slinfer_explain <report.json> [options]\n"
+        "       slinfer_explain --trace=<trace.json> [options]\n"
+        "  <report.json>          report from slinfer_run --explain\n"
+        "  --trace=<file>         reconstruct (approximate) anatomy "
+        "from a\n"
+        "                         Chrome trace instead\n"
+        "  --json                 emit the attribution as JSON, not a "
+        "table\n"
+        "  --out=<path>           write there instead of stdout\n"
+        "  --assert-blame=<a,b>   fail unless the dominant violation "
+        "cause\n"
+        "                         is one of the listed segments\n"
+        "  --at=<sec>             scope --assert-blame to the blame "
+        "window\n"
+        "                         containing this time\n");
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Parse a report JSON's "attribution" block into the Report. */
+bool
+loadReport(const std::string &path, Report &r, std::string *err)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        *err = "cannot open " + path;
+        return false;
+    }
+    JsonValue v;
+    if (!parseJson(text, v, err))
+        return false;
+    if (!v.isObject()) {
+        *err = "root is not an object (multi-run reports are arrays; "
+               "pass a single-run report)";
+        return false;
+    }
+    r.system = v.string("system");
+    r.scenario = v.string("scenario");
+    r.seed = static_cast<std::uint64_t>(v.num("seed"));
+    const JsonValue *attr = v.find("attribution");
+    if (!attr || !attr->isObject()) {
+        *err = "report has no attribution block (re-run with "
+               "slinfer_run --explain)";
+        return false;
+    }
+    Report::Attribution &a = r.attribution;
+    a.enabled = true;
+    a.requests = static_cast<std::uint64_t>(attr->num("requests"));
+    a.violations = static_cast<std::uint64_t>(attr->num("violations"));
+    if (const JsonValue *segs = attr->find("segments");
+        segs && segs->isArray()) {
+        for (const JsonValue &sv : segs->array) {
+            Report::Attribution::Segment s;
+            s.name = sv.string("name");
+            s.count = static_cast<std::uint64_t>(sv.num("count"));
+            s.totalS = sv.num("total_s");
+            s.p50s = sv.num("p50_s");
+            s.p95s = sv.num("p95_s");
+            s.p99s = sv.num("p99_s");
+            s.blamed = static_cast<std::uint64_t>(sv.num("blamed"));
+            a.segments.push_back(std::move(s));
+        }
+    }
+    auto row = [](const JsonValue &arr) {
+        std::vector<std::uint64_t> out;
+        for (const JsonValue &e : arr.array)
+            out.push_back(static_cast<std::uint64_t>(e.number));
+        return out;
+    };
+    if (const JsonValue *pm = attr->find("per_model");
+        pm && pm->isArray()) {
+        for (const JsonValue &mv : pm->array) {
+            Report::Attribution::ModelBlame mb;
+            mb.model = mv.string("model");
+            if (const JsonValue *b = mv.find("blamed"); b && b->isArray())
+                mb.blamed = row(*b);
+            a.perModel.push_back(std::move(mb));
+        }
+    }
+    a.windowLen = attr->num("window_len");
+    if (const JsonValue *pw = attr->find("per_window");
+        pw && pw->isArray()) {
+        for (const JsonValue &wv : pw->array) {
+            if (wv.isArray())
+                a.perWindow.push_back(row(wv));
+        }
+    }
+    return true;
+}
+
+/**
+ * Trace mode: walk the request-lifecycle async events and rebuild an
+ * approximate per-request anatomy. Only the "request" category is
+ * consulted; timestamps are trace µs.
+ */
+struct TraceRequest
+{
+    double beginUs = -1.0;
+    double endUs = -1.0;
+    double firstAdmitUs = -1.0;
+    double requeueUs = -1.0;   ///< open re-queue (awaiting re-admission)
+    double transferUs = -1.0;  ///< open PD transfer
+    double rewindUs = 0.0;     ///< accumulated re-queued wait
+    double pdTransferUs = 0.0; ///< accumulated transfer wait
+    int queuedSeen = 0;
+    bool dropped = false;
+    bool completed = false;
+};
+
+bool
+loadTraceAnatomy(const std::string &path, Report &r, std::string *err)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        *err = "cannot open " + path;
+        return false;
+    }
+    JsonValue doc;
+    if (!parseJson(text, doc, err))
+        return false;
+    const JsonValue *events =
+        doc.isObject() ? doc.find("traceEvents") : nullptr;
+    if (!events || !events->isArray()) {
+        *err = "not a Chrome trace (missing traceEvents array)";
+        return false;
+    }
+
+    std::map<std::uint64_t, TraceRequest> reqs;
+    for (const JsonValue &e : events->array) {
+        if (!e.isObject() || e.string("cat") != "request")
+            continue;
+        std::string ph = e.string("ph");
+        if (ph != "b" && ph != "e" && ph != "n")
+            continue;
+        std::uint64_t id = static_cast<std::uint64_t>(e.num("id"));
+        double ts = e.num("ts");
+        TraceRequest &tr = reqs[id];
+        std::string name = e.string("name");
+        if (ph == "b") {
+            tr.beginUs = ts;
+        } else if (ph == "e") {
+            tr.endUs = ts;
+        } else if (name == "queued") {
+            // A second "queued" instant is a rewind: the request went
+            // back to the controller after eviction or node failure.
+            if (++tr.queuedSeen > 1)
+                tr.requeueUs = ts;
+        } else if (name == "admit" || name == "admit-decode") {
+            if (tr.firstAdmitUs < 0)
+                tr.firstAdmitUs = ts;
+            if (tr.requeueUs >= 0) {
+                tr.rewindUs += ts - tr.requeueUs;
+                tr.requeueUs = -1.0;
+            }
+            if (name == "admit-decode" && tr.transferUs >= 0) {
+                tr.pdTransferUs += ts - tr.transferUs;
+                tr.transferUs = -1.0;
+            }
+        } else if (name == "transfer") {
+            tr.transferUs = ts;
+        } else if (name == "completed") {
+            tr.completed = true;
+        } else if (name == "dropped") {
+            tr.dropped = true;
+        }
+    }
+
+    // Fold into four approximate segments. "serving" lumps prefill,
+    // decode and every in-instance wait: decode spans carry no request
+    // ids, so the exact split needs the live ledger.
+    struct Agg
+    {
+        std::uint64_t count = 0;
+        double totalS = 0.0;
+    };
+    Agg queueWait, rewind, serving, transfer;
+    std::uint64_t closed = 0, dropped = 0, rewound = 0;
+    for (const auto &[id, tr] : reqs) {
+        if (tr.beginUs < 0 || tr.endUs < 0)
+            continue; // still open when the ring wrapped
+        ++closed;
+        if (tr.dropped)
+            ++dropped;
+        if (tr.queuedSeen > 1)
+            ++rewound;
+        double admit = tr.firstAdmitUs >= 0 ? tr.firstAdmitUs : tr.endUs;
+        double qw = (admit - tr.beginUs) * 1e-6;
+        if (qw > 0) {
+            ++queueWait.count;
+            queueWait.totalS += qw;
+        }
+        if (tr.rewindUs > 0) {
+            ++rewind.count;
+            rewind.totalS += tr.rewindUs * 1e-6;
+        }
+        if (tr.pdTransferUs > 0) {
+            ++transfer.count;
+            transfer.totalS += tr.pdTransferUs * 1e-6;
+        }
+        double serve = (tr.endUs - admit) * 1e-6 - tr.rewindUs * 1e-6 -
+                       tr.pdTransferUs * 1e-6;
+        if (tr.firstAdmitUs >= 0 && serve > 0) {
+            ++serving.count;
+            serving.totalS += serve;
+        }
+    }
+
+    Report::Attribution &a = r.attribution;
+    a.enabled = true;
+    a.requests = closed;
+    // Without SLO thresholds in the trace, "disrupted" requests —
+    // dropped or rewound — stand in for violations; each blames the
+    // segment the disruption created.
+    a.violations = dropped + rewound;
+    auto seg = [&](const char *name, const Agg &agg,
+                   std::uint64_t blamed) {
+        Report::Attribution::Segment s;
+        s.name = name;
+        s.count = agg.count;
+        s.totalS = agg.totalS;
+        s.blamed = blamed;
+        a.segments.push_back(std::move(s));
+    };
+    seg("queue_wait", queueWait, dropped);
+    seg("rewind", rewind, rewound);
+    seg("serving", serving, 0);
+    seg("pd_transfer", transfer, 0);
+    return true;
+}
+
+std::string
+attributionJson(const Report &r)
+{
+    // Same shape as the report's "attribution" block, standalone.
+    std::ostringstream os;
+    os.precision(17);
+    const Report::Attribution &a = r.attribution;
+    os << "{\"system\": \"" << jsonEscape(r.system)
+       << "\", \"scenario\": \"" << jsonEscape(r.scenario)
+       << "\", \"seed\": " << r.seed << ", \"requests\": " << a.requests
+       << ", \"violations\": " << a.violations << ", \"segments\": [";
+    for (std::size_t i = 0; i < a.segments.size(); ++i) {
+        const Report::Attribution::Segment &s = a.segments[i];
+        os << (i ? ", " : "") << "{\"name\": \"" << jsonEscape(s.name)
+           << "\", \"count\": " << s.count << ", \"total_s\": " << s.totalS
+           << ", \"p50_s\": " << s.p50s << ", \"p95_s\": " << s.p95s
+           << ", \"p99_s\": " << s.p99s << ", \"blamed\": " << s.blamed
+           << "}";
+    }
+    os << "], \"per_model\": [";
+    for (std::size_t i = 0; i < a.perModel.size(); ++i) {
+        os << (i ? ", " : "") << "{\"model\": \""
+           << jsonEscape(a.perModel[i].model) << "\", \"blamed\": [";
+        for (std::size_t j = 0; j < a.perModel[i].blamed.size(); ++j)
+            os << (j ? ", " : "") << a.perModel[i].blamed[j];
+        os << "]}";
+    }
+    os << "], \"window_len\": " << a.windowLen << ", \"per_window\": [";
+    for (std::size_t i = 0; i < a.perWindow.size(); ++i) {
+        os << (i ? ", " : "") << "[";
+        for (std::size_t j = 0; j < a.perWindow[i].size(); ++j)
+            os << (j ? ", " : "") << a.perWindow[i][j];
+        os << "]";
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+/** The dominant blame cause of a count vector ("" when all zero). */
+std::string
+dominantCause(const Report::Attribution &a,
+              const std::vector<std::uint64_t> &blamed)
+{
+    std::size_t best = 0;
+    bool any = false;
+    for (std::size_t s = 0; s < blamed.size(); ++s) {
+        if (blamed[s] > blamed[best])
+            best = s;
+        any = any || blamed[s] != 0;
+    }
+    if (!any)
+        return "";
+    return best < a.segments.size() ? a.segments[best].name
+                                    : std::to_string(best);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string report_path;
+    std::string trace_path;
+    std::string out_path;
+    std::string assert_blame;
+    bool as_json = false;
+    bool at_set = false;
+    double at = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--json") {
+            as_json = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = value();
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = value();
+        } else if (arg.rfind("--assert-blame=", 0) == 0) {
+            assert_blame = value();
+        } else if (arg.rfind("--at=", 0) == 0) {
+            char *end = nullptr;
+            at = std::strtod(value().c_str(), &end);
+            if (value().empty() || *end || at < 0) {
+                std::fprintf(stderr, "--at: malformed value '%s'\n",
+                             value().c_str());
+                return 2;
+            }
+            at_set = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        } else if (report_path.empty()) {
+            report_path = arg;
+        } else {
+            std::fprintf(stderr, "more than one report file given\n");
+            return 2;
+        }
+    }
+    if (report_path.empty() == trace_path.empty()) {
+        usage(stderr);
+        return 2;
+    }
+
+    Report r;
+    std::string err;
+    bool ok = trace_path.empty() ? loadReport(report_path, r, &err)
+                                 : loadTraceAnatomy(trace_path, r, &err);
+    if (!ok) {
+        std::fprintf(stderr, "%s: %s\n",
+                     (trace_path.empty() ? report_path : trace_path)
+                         .c_str(),
+                     err.c_str());
+        return 1;
+    }
+
+    std::string rendered =
+        as_json ? attributionJson(r) : renderAttribution(r);
+    if (!trace_path.empty() && !as_json) {
+        rendered += "\n(approximate, reconstructed from trace spans; "
+                    "decode iterations are lumped into 'serving' — run "
+                    "slinfer_run --explain for the exact anatomy)\n";
+    }
+    if (out_path.empty()) {
+        std::fputs(rendered.c_str(), stdout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+            return 1;
+        }
+        out << rendered;
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "write to %s failed\n",
+                         out_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    }
+
+    if (!assert_blame.empty()) {
+        const Report::Attribution &a = r.attribution;
+        std::vector<std::uint64_t> scope(a.segments.size(), 0);
+        std::string where = "overall";
+        if (at_set) {
+            if (a.perWindow.empty() || a.windowLen <= 0) {
+                std::fprintf(stderr, "--at: the input has no blame "
+                                     "windows (run with --windows)\n");
+                return 1;
+            }
+            std::size_t w = std::min(
+                a.perWindow.size() - 1,
+                static_cast<std::size_t>(at / a.windowLen));
+            scope = a.perWindow[w];
+            std::ostringstream ws;
+            ws << "window [" << static_cast<double>(w) * a.windowLen
+               << ", " << static_cast<double>(w + 1) * a.windowLen
+               << ")";
+            where = ws.str();
+        } else {
+            for (std::size_t s = 0; s < a.segments.size(); ++s)
+                scope[s] = a.segments[s].blamed;
+        }
+        std::string dom = dominantCause(a, scope);
+        if (dom.empty()) {
+            std::fprintf(stderr,
+                         "ASSERT FAIL: no violations in %s, expected "
+                         "blame on %s\n",
+                         where.c_str(), assert_blame.c_str());
+            return 1;
+        }
+        bool matched = false;
+        std::istringstream in(assert_blame);
+        std::string cause;
+        while (std::getline(in, cause, ','))
+            matched = matched || cause == dom;
+        if (!matched) {
+            std::fprintf(stderr,
+                         "ASSERT FAIL: dominant cause in %s is '%s', "
+                         "expected one of %s\n",
+                         where.c_str(), dom.c_str(),
+                         assert_blame.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "assert ok: dominant cause in %s is '%s'\n",
+                     where.c_str(), dom.c_str());
+    }
+    return 0;
+}

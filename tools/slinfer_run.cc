@@ -61,6 +61,11 @@ usage(std::FILE *to)
         "  --windows=<n>          per-window TTFT/throughput rows\n"
         "  --counters             flight-recorder counters in the "
         "report\n"
+        "  --explain              latency anatomy & SLO attribution: "
+        "adds the\n"
+        "                         report's attribution block and prints "
+        "the\n"
+        "                         breakdown to stderr\n"
         "  --trace=<file.json>    Chrome trace_event spans (single "
         "run)\n"
         "  --trace-cats=<a,b,..>  span categories: request, exec, "
@@ -183,6 +188,7 @@ main(int argc, char **argv)
     bool seed_set = false;
     std::uint64_t seed = 0;
     bool counters = false;
+    bool explain = false;
     std::string trace_path;
     unsigned trace_cats = obs::kAllTraceCats;
     std::string timeseries_path;
@@ -233,6 +239,8 @@ main(int argc, char **argv)
             windows = static_cast<int>(n);
         } else if (arg == "--counters") {
             counters = true;
+        } else if (arg == "--explain") {
+            explain = true;
         } else if (arg.rfind("--trace=", 0) == 0) {
             trace_path = value();
         } else if (arg.rfind("--trace-cats=", 0) == 0) {
@@ -339,6 +347,7 @@ main(int argc, char **argv)
                 cfg.timeline = timeline;
             cfg.windows = windows;
             cfg.obs.counters = counters;
+            cfg.obs.anatomy = explain;
             cfg.obs.trace = !trace_path.empty();
             cfg.obs.traceCats = trace_cats;
             if (!timeseries_path.empty())
@@ -410,6 +419,10 @@ main(int argc, char **argv)
             }
             report.scenario = sc->name;
             report.seed = s;
+            // The rendered anatomy goes to stderr so stdout stays a
+            // machine-readable report stream.
+            if (explain && !quiet)
+                std::fputs(renderAttribution(report).c_str(), stderr);
             reports.push_back(std::move(report));
         }
     }
@@ -432,6 +445,12 @@ main(int argc, char **argv)
             os << "\n" << reportCountersCsvHeader() << "\n";
             for (const Report &r : reports)
                 os << toCountersCsvRows(r);
+        }
+        // And so do attribution-enabled runs.
+        if (explain) {
+            os << "\n" << reportAttributionCsvHeader() << "\n";
+            for (const Report &r : reports)
+                os << toAttributionCsvRows(r);
         }
     } else if (reports.size() == 1) {
         os << toJson(reports[0]) << "\n";

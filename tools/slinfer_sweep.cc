@@ -51,6 +51,11 @@ usage(std::FILE *to)
         "execution:\n"
         "  --jobs=<n>               worker threads (default: all cores)\n"
         "  --store=<file.jsonl>     result store; enables resume\n"
+        "  --attribution            run with the latency-anatomy "
+        "ledger:\n"
+        "                           reports gain an attribution block "
+        "and\n"
+        "                           the summary gains seg_* metrics\n"
         "output:\n"
         "  --summary-out=<file>     write cross-seed summary there\n"
         "  --format=json|csv        summary format (default: json)\n"
@@ -115,6 +120,7 @@ main(int argc, char **argv)
     int jobs = 0;
     int bootstrap = 1000;
     bool quiet = false;
+    bool attribution = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -161,6 +167,8 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--jobs must be in [1, 1024]\n");
                 return 2;
             }
+        } else if (arg == "--attribution") {
+            attribution = true;
         } else if (arg.rfind("--store=", 0) == 0) {
             store_path = value();
         } else if (arg.rfind("--summary-out=", 0) == 0) {
@@ -234,6 +242,7 @@ main(int argc, char **argv)
     // exactly when the caller asked for timing (never otherwise: the
     // scoped timers are cheap but not free).
     opts.phaseProfile = !timing_json.empty();
+    opts.attribution = attribution;
     if (!quiet) {
         opts.onProgress = [](const sweep::Progress &p) {
             std::fprintf(stderr, "[%zu/%zu] %s %s seed=%llu%s\n", p.done,

@@ -5,6 +5,11 @@
  * uploads).
  *
  *   slinfer_tracecheck trace.json [more.json ...]
+ *   slinfer_tracecheck --stats trace.json
+ *
+ * --stats additionally prints, per category, the event count and the
+ * total duration of its 'X' spans — a quick profile of what a trace
+ * holds before opening it in Perfetto.
  *
  * Checks, per file:
  *   - the document parses and is {"traceEvents": [...]};
@@ -20,8 +25,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "sweep/json.hh"
 
@@ -39,8 +46,16 @@ fail(const std::string &path, std::size_t index, const std::string &why)
     return false;
 }
 
+/** Per-category tally for --stats. */
+struct CatStats
+{
+    std::size_t events = 0;
+    std::size_t spans = 0;   ///< 'X' events
+    double spanSeconds = 0.0; ///< summed 'X' durations
+};
+
 bool
-checkFile(const std::string &path)
+checkFile(const std::string &path, bool stats)
 {
     std::ifstream in(path);
     if (!in) {
@@ -71,6 +86,8 @@ checkFile(const std::string &path)
     const std::string known_ph = "MXibenBE";
     double last_ts = 0.0;
     bool have_ts = false;
+    // Ordered map: the stats listing is alphabetical and stable.
+    std::map<std::string, CatStats> byCat;
     for (std::size_t i = 0; i < events->array.size(); ++i) {
         const JsonValue &e = events->array[i];
         if (!e.isObject())
@@ -100,10 +117,23 @@ checkFile(const std::string &path)
         last_ts = ts->number;
         have_ts = true;
 
+        if (stats) {
+            const JsonValue *cat = e.find("cat");
+            CatStats &c =
+                byCat[cat && cat->isString() ? cat->str : "(none)"];
+            ++c.events;
+        }
         if (ph->str == "X") {
             const JsonValue *dur = e.find("dur");
             if (!dur || !dur->isNumber() || dur->number < 0)
                 return fail(path, i, "'X' without nonnegative dur");
+            if (stats) {
+                const JsonValue *cat = e.find("cat");
+                CatStats &c =
+                    byCat[cat && cat->isString() ? cat->str : "(none)"];
+                ++c.spans;
+                c.spanSeconds += dur->number * 1e-6; // ts/dur are µs
+            }
         }
         if (ph->str == "b" || ph->str == "e" || ph->str == "n") {
             const JsonValue *id = e.find("id");
@@ -119,6 +149,12 @@ checkFile(const std::string &path)
 
     std::printf("%s: %zu events OK\n", path.c_str(),
                 events->array.size());
+    if (stats) {
+        for (const auto &[cat, c] : byCat) {
+            std::printf("  %-14s %8zu events  %6zu spans  %10.3f s\n",
+                        cat.c_str(), c.events, c.spans, c.spanSeconds);
+        }
+    }
     return true;
 }
 
@@ -127,13 +163,22 @@ checkFile(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: slinfer_tracecheck <trace.json> [...]\n");
+    bool stats = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--stats")
+            stats = true;
+        else
+            paths.push_back(std::move(arg));
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "usage: slinfer_tracecheck [--stats] "
+                             "<trace.json> [...]\n");
         return 2;
     }
     bool ok = true;
-    for (int i = 1; i < argc; ++i)
-        ok = checkFile(argv[i]) && ok;
+    for (const std::string &p : paths)
+        ok = checkFile(p, stats) && ok;
     return ok ? 0 : 1;
 }
