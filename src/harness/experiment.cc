@@ -61,6 +61,11 @@ ExperimentConfig::validate() const
               "per model");
     if (windows < 0)
         fatal("ExperimentConfig: negative `windows`");
+    if (simThreads < 0)
+        fatal("ExperimentConfig: negative `simThreads`");
+    if (simThreads > 0 && !(simWindow > 0))
+        fatal("ExperimentConfig: lockstep mode needs a positive "
+              "`simWindow`");
 
     for (const Intervention &iv : timeline) {
         std::string name = interventionKindName(iv.kind);

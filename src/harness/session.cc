@@ -24,6 +24,14 @@ Session::Session(const ExperimentConfig &cfg)
         sim_.attachObs(obs_->counters(), obs_->profiler());
     }
 
+    // Lockstep mode: attach the engine before the controller exists
+    // so every lazily created token scheduler registers its lane.
+    if (cfg_.simThreads > 0) {
+        lockstep_ = std::make_unique<LockstepEngine>(
+            sim_, cfg_.simWindow, cfg_.simThreads);
+        sim_.setLockstep(lockstep_.get());
+    }
+
     // The legacy pre-materialized trace moves out of our config copy
     // (nothing reads cfg_.trace after this) instead of being copied a
     // second time and kept alive for the whole session.
@@ -319,6 +327,12 @@ Session::inject(const Intervention &iv)
 {
     if (finished_)
         fatal("Session::inject after finish()");
+    // Lockstep: replay everything staged up to now before the
+    // intervention acts, so the controller decides on a synchronized
+    // cluster and the trace stays time-monotone. Runs that never
+    // inject never replay off-grid.
+    if (lockstep_)
+        lockstep_->flushStaged();
     applyIntervention(iv);
 }
 

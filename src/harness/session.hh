@@ -36,6 +36,7 @@
 
 #include "harness/experiment.hh"
 #include "obs/obs.hh"
+#include "sim/lockstep.hh"
 
 namespace slinfer
 {
@@ -147,6 +148,10 @@ class Session
     ExperimentConfig cfg_;
     Seconds duration_ = 0.0;
     Simulator sim_;
+    /** Lockstep engine (null unless cfg.simThreads >= 1). Declared
+     *  right after sim_: it must outlive the controller's schedulers,
+     *  which hold pointers into its lanes. */
+    std::unique_ptr<LockstepEngine> lockstep_;
     ClusterHandle cluster_;
     Recorder recorder_;
     std::unique_ptr<ClusterStats> stats_;

@@ -305,6 +305,24 @@ fleet6400()
 }
 
 Scenario
+fleet64000()
+{
+    Scenario sc;
+    sc.name = "fleet-64000";
+    sc.summary = "1000x scale: 64000 7B models on a 4000+4000 cluster "
+                 "(sized for the lockstep engine; --parallel-sim "
+                 "brings it to minutes on a multi-core host)";
+    AzureTraceConfig tc;
+    tc.numModels = 64000;
+    tc.duration = 1800.0;
+    sc.arrivals = makeAzure(tc);
+    sc.models = fleet({{llama2_7b(), 64000}});
+    sc.cluster.cpuNodes = 4000;
+    sc.cluster.gpuNodes = 4000;
+    return sc;
+}
+
+Scenario
 fleetDiurnalSurge()
 {
     Scenario sc;
@@ -434,7 +452,7 @@ all()
         rampUp(),       stepSurge(),   zipfMultitenant(),
         mixedFleet(),   burstGptSteady(), longContextHub(),
         tightSloFlash(), fleet640(),   fleet6400(),
-        fleetDiurnalSurge(),
+        fleet64000(),   fleetDiurnalSurge(),
         fleetNodeFailure(), fleetRollingDeploy(), fleetSurgeScale(),
     };
     return catalog;

@@ -1,0 +1,282 @@
+#include "sim/lockstep.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/log.hh"
+#include "sim/simulator.hh"
+#include "sweep/pool.hh"
+
+namespace slinfer
+{
+
+namespace
+{
+
+constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+
+/** The canonical boundary order: ascending time, lane order breaking
+ *  ties. Intra-lane order is the staging index, preserved because a
+ *  lane's buffer is consumed front to back. */
+bool
+stagedBefore(Seconds aTime, std::size_t aOrder, Seconds bTime,
+             std::size_t bOrder)
+{
+    if (aTime != bTime)
+        return aTime < bTime;
+    return aOrder < bOrder;
+}
+
+} // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>>
+lockstepMergeOrder(const std::vector<LaneBatchView> &views)
+{
+    struct Cursor
+    {
+        const LaneBatchView *view;
+        std::size_t idx;
+    };
+    auto later = [](const Cursor &a, const Cursor &b) {
+        return !stagedBefore(a.view->recs->at(a.idx).time, a.view->order,
+                             b.view->recs->at(b.idx).time,
+                             b.view->order);
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)>
+        heap(later);
+    for (const LaneBatchView &v : views) {
+        if (v.recs && !v.recs->empty())
+            heap.push({&v, 0});
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    while (!heap.empty()) {
+        Cursor c = heap.top();
+        heap.pop();
+        out.emplace_back(c.view->order, c.idx);
+        if (c.idx + 1 < c.view->recs->size())
+            heap.push({c.view, c.idx + 1});
+    }
+    return out;
+}
+
+LockstepEngine::LockstepEngine(Simulator &sim, Seconds window,
+                               int threads)
+    : sim_(sim), window_(window), threads_(threads < 1 ? 1 : threads)
+{
+    if (!(window_ > 0))
+        panic("LockstepEngine: window must be positive");
+}
+
+LockstepEngine::~LockstepEngine() = default;
+
+void
+LockstepEngine::registerLane(std::size_t order, LockstepClient *client)
+{
+    auto lane = std::make_unique<LockstepLane>();
+    lane->client = client;
+    lane->engine = this;
+    lane->order = order;
+    LockstepLane *ptr = lane.get();
+    lanes_.push_back(std::move(lane));
+    auto pos = std::lower_bound(
+        order_.begin(), order_.end(), ptr,
+        [](const LockstepLane *a, const LockstepLane *b) {
+            return a->order < b->order;
+        });
+    if (pos != order_.end() && (*pos)->order == order)
+        panic("LockstepEngine: duplicate lane order");
+    order_.insert(pos, ptr);
+    client->bindLane(ptr);
+}
+
+Seconds
+LockstepEngine::gridCeil(Seconds t) const
+{
+    if (t <= 0)
+        return 0.0;
+    return std::ceil(t / window_) * window_;
+}
+
+Seconds
+LockstepEngine::earliestWork() const
+{
+    Seconds t = sim_.nextEventTime();
+    for (const LockstepLane *lane : order_) {
+        if (lane->nextAt < t)
+            t = lane->nextAt;
+        // Buffers are time-nondecreasing (chains stage at their own
+        // monotone clock; controller kicks stage at controlTime(),
+        // which never precedes anything already staged), so front()
+        // is each lane's minimum.
+        if (!lane->recs.empty() && lane->recs.front().time < t)
+            t = lane->recs.front().time;
+    }
+    return t;
+}
+
+void
+LockstepEngine::runLane(LockstepLane &lane, Seconds upTo)
+{
+    lane.running = true;
+    lane.client->runPending(upTo);
+    lane.running = false;
+}
+
+void
+LockstepEngine::nodePhase(Seconds upTo)
+{
+    active_.clear();
+    for (LockstepLane *lane : order_) {
+        if (lane->nextAt <= upTo)
+            active_.push_back(lane);
+    }
+    if (active_.empty())
+        return;
+    ++windows_;
+    if (threads_ <= 1 || active_.size() == 1) {
+        // Inline in canonical order: the serial-oracle execution. Any
+        // other order gives the same bytes — that is the point — but
+        // this one is also what a debugger single-steps through.
+        for (LockstepLane *lane : active_)
+            runLane(*lane, upTo);
+    } else {
+        if (!pool_)
+            pool_ = std::make_unique<sweep::TaskPool>(threads_);
+        pool_->run(active_.size(), [this, upTo](std::size_t i) {
+            runLane(*active_[i], upTo);
+        });
+    }
+    std::uint64_t ran = 0;
+    for (LockstepLane *lane : active_) {
+        ran += lane->eventsRun;
+        lane->eventsRun = 0;
+    }
+    sim_.addEventsRun(ran);
+}
+
+void
+LockstepEngine::boundary(Seconds b, Seconds ctlAnchor)
+{
+    // Snapshot every lane's staged batch. Records staged *during* the
+    // replay (controller kicks starting fresh iterations) land in the
+    // now-empty live buffers and are picked up by the next boundary —
+    // which the window loop runs immediately when they carry the
+    // current boundary time.
+    struct HeapEntry
+    {
+        Seconds time;
+        LockstepLane *lane;
+    };
+    auto later = [](const HeapEntry &x, const HeapEntry &y) {
+        return !stagedBefore(x.time, x.lane->order, y.time,
+                             y.lane->order);
+    };
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        decltype(later)>
+        heap(later);
+    for (LockstepLane *lane : order_) {
+        lane->replay.clear();
+        lane->replay.swap(lane->recs);
+        lane->cursor = 0;
+        if (!lane->replay.empty())
+            heap.push({lane->replay.front().time, lane});
+    }
+    ctl_ = ctlAnchor;
+    for (;;) {
+        Seconds ts = heap.empty() ? kNever : heap.top().time;
+        if (ts > b) {
+            // Heap min beyond the boundary means *everything* staged
+            // left is (it can only happen after an off-grid flush
+            // whose controller kicks anchored to the next grid
+            // point); it waits for that boundary.
+            ts = kNever;
+        }
+        Seconds tg = sim_.nextEventTime();
+        if (tg > b)
+            tg = kNever; // beyond this boundary: stays queued
+        if (ts == kNever && tg == kNever)
+            break;
+        if (ts <= tg) { // staged-before-global on time ties
+            LockstepLane *lane = heap.top().lane;
+            heap.pop();
+            const StagedRec &rec = lane->replay[lane->cursor++];
+            // Replay at the record's own timestamp so every sink and
+            // self-rescheduling cadence sees exactly the time the
+            // chain saw. The clock may dip below a previous
+            // advance-target here; that is internal to the boundary
+            // and invisible outside it (inject() flushes first).
+            sim_.setNow(rec.time);
+            lane->client->replayRecord(rec);
+            ++merged_;
+            if (lane->cursor < lane->replay.size())
+                heap.push({lane->replay[lane->cursor].time, lane});
+        } else {
+            sim_.runNextEvent();
+        }
+    }
+    // Unconsumed staged tails (> b) go back to the front of the live
+    // buffer, ahead of anything replay-time kicks staged after them —
+    // same times, earlier staging index, so canonical order holds.
+    for (LockstepLane *lane : order_) {
+        if (lane->cursor >= lane->replay.size())
+            continue;
+        lane->replay.erase(lane->replay.begin(),
+                           lane->replay.begin() +
+                               static_cast<std::ptrdiff_t>(lane->cursor));
+        lane->replay.insert(lane->replay.end(), lane->recs.begin(),
+                            lane->recs.end());
+        lane->recs.swap(lane->replay);
+    }
+}
+
+Seconds
+LockstepEngine::runUntil(Seconds until)
+{
+    for (;;) {
+        Seconds work = earliestWork();
+        if (work == kNever)
+            break;
+        Seconds b = gridCeil(work);
+        if (b > until)
+            break;
+        nodePhase(b);
+        boundary(b, b);
+    }
+    // Partial tail cell: chains advance (staging only — their side
+    // effects replay at the next boundary), global events wait for
+    // theirs. This keeps stepped advances byte-identical to one-shot
+    // runs: chains are autonomous within a window, and a global event
+    // at time t is always processed at boundary gridCeil(t) no matter
+    // how the caller slices the clock.
+    nodePhase(until);
+    if (sim_.now() < until)
+        sim_.setNow(until);
+    ctl_ = gridCeil(until);
+    return sim_.now();
+}
+
+Seconds
+LockstepEngine::run()
+{
+    for (;;) {
+        Seconds work = earliestWork();
+        if (work == kNever)
+            break;
+        Seconds b = gridCeil(work);
+        nodePhase(b);
+        boundary(b, b);
+    }
+    return sim_.now();
+}
+
+void
+LockstepEngine::flushStaged()
+{
+    Seconds t = sim_.now();
+    boundary(t, gridCeil(t));
+    if (sim_.now() < t)
+        sim_.setNow(t);
+}
+
+} // namespace slinfer

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Time-windowed lockstep parallel execution (δ-quantized control).
+ *
+ * The serving simulation has a natural two-phase structure: between
+ * controller decisions, each partition's token chain (prefill/decode
+ * iterations) only touches partition-local state — the instance, its
+ * KV cache, the requests it owns — while everything cross-partition
+ * (admission, placement, eviction, memory ops, interventions) flows
+ * through the controller and the global event queue. The lockstep
+ * engine exploits that: simulated time is cut into δ-spaced windows
+ * anchored at 0 (`ExperimentConfig::simWindow`, default 50 ms), the
+ * **node phase** advances every busy partition's chain to the window
+ * end in parallel on a persistent work-stealing pool
+ * (sweep/pool.hh), and the **controller phase** then runs serially at
+ * the window boundary: each chain's side effects — stats, busy-second
+ * aggregates, trace spans, anatomy hooks, completion/shortage
+ * notifications — were *staged* into per-lane buffers during the node
+ * phase and are replayed here, merged with the global event queue in
+ * canonical (time, lane order, staging index) order.
+ *
+ * Semantics: lockstep mode models a control plane that acts at
+ * δ-spaced decision points instead of instantaneously. It is opt-in
+ * (`--parallel-sim`); the default engine is untouched and remains the
+ * repo's serial reference semantics. Within lockstep mode the
+ * determinism contract is **thread-count invariance**: the node phase
+ * gives every lane the same inputs and the same private RNG stream
+ * regardless of which worker runs it, and the boundary replay order
+ * is canonical, so `--parallel-sim=1` (inline, no threads) and
+ * `--parallel-sim=N` produce byte-identical reports, traces,
+ * counters and attribution blocks. tests/test_parallel_sim.cc is the
+ * differential layer that proves it; the merge-order property test
+ * lives in tests/test_properties.cc via lockstepMergeOrder().
+ *
+ * Why not byte-equality with the *instantaneous* serial engine: that
+ * engine has zero lookahead — a completion on node A at time t can
+ * cause a prefill on node B at the same t. Any window that lets node
+ * B run past t without knowing about it diverges, so exact
+ * equivalence would force per-event windows (no parallelism) or
+ * optimistic rollback. The δ-grid is the standard conservative
+ * compromise: all cross-partition effects take hold at the next
+ * boundary, uniformly and reproducibly.
+ */
+
+#ifndef SLINFER_SIM_LOCKSTEP_HH
+#define SLINFER_SIM_LOCKSTEP_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace slinfer
+{
+
+class Simulator;
+struct Request;
+struct Instance;
+
+namespace sweep
+{
+class TaskPool;
+}
+
+class LockstepEngine;
+struct LockstepLane;
+
+/**
+ * One side effect a token chain staged during a node phase, replayed
+ * verbatim at the window boundary. A flat tagged struct (not a
+ * variant) so per-lane buffers are trivially relocatable and reusable
+ * with zero allocation at steady state. `req`/`inst` stay valid
+ * across the window: requests live in the Session's reserved block
+ * and instances in the controller's stable pool, and neither is
+ * destroyed mid-run.
+ */
+struct StagedRec
+{
+    enum class Kind : std::uint8_t
+    {
+        TraceSpan,          ///< exec span: name/dur/argName/arg
+        AnatPrefillStart,   ///< anatomy: prefill began (req)
+        AnatPrefillEnd,     ///< anatomy: prefill ended (req)
+        AnatDecodeIterStart,///< anatomy: decode iter began (req)
+        AnatDecodeIterEnd,  ///< anatomy: decode iter ended (req, flag)
+        DecodeIterStats,    ///< ClusterStats::onDecodeIteration
+        BusySeconds,        ///< ClusterIndex::addBusySeconds
+        FirstToken,         ///< Callbacks::onFirstToken (req, inst)
+        RequestDone,        ///< Callbacks::onRequestDone (req, inst)
+        KvShortage,         ///< Callbacks::onKvShortage (inst)
+        AfterPrefill,       ///< PD handoff: Callbacks::routeAfterPrefill
+    };
+
+    Kind kind = Kind::TraceSpan;
+    /** Stalled flag for AnatDecodeIterEnd. */
+    bool flag = false;
+    /** HwKind, stored as int to keep this header hw-agnostic. */
+    int hw = 0;
+    /** Batch size (DecodeIterStats) / trace counter. */
+    int count = 0;
+    /** Tokens emitted (DecodeIterStats). */
+    Tokens tokens = 0;
+    /** Chain-local sim time of the original call; the merge key. */
+    Seconds time = 0.0;
+    /** Span / busy duration. */
+    Seconds dur = 0.0;
+    /** Trace span argument value. */
+    double arg = 0.0;
+    /** Trace span name / arg name (string literals only). */
+    const char *name = nullptr;
+    const char *argName = nullptr;
+    Request *req = nullptr;
+    Instance *inst = nullptr;
+};
+
+/**
+ * The engine side of a partition's token chain. The chain's scheduler
+ * (core/token_scheduler.hh) implements this; keeping it an abstract
+ * interface keeps src/sim free of core-layer includes.
+ */
+class LockstepClient
+{
+  public:
+    virtual ~LockstepClient() = default;
+    /** The engine registered this client; remember the lane. */
+    virtual void bindLane(LockstepLane *lane) = 0;
+    /** Node phase: run every pending chain event with time <= upTo. */
+    virtual void runPending(Seconds upTo) = 0;
+    /** Controller phase: apply one staged record. The global clock is
+     *  already set to rec.time. */
+    virtual void replayRecord(const StagedRec &rec) = 0;
+};
+
+/**
+ * Per-partition chain state owned by the engine. During a node phase
+ * exactly one worker touches a given lane; the pool's join barrier
+ * orders those writes before the boundary merge reads them.
+ */
+struct LockstepLane
+{
+    LockstepClient *client = nullptr;
+    LockstepEngine *engine = nullptr;
+    /** Canonical merge rank (== Partition::viewPos). */
+    std::size_t order = 0;
+    /** Time of the chain's single pending event (a partition runs at
+     *  most one iteration at a time), or infinity when idle. */
+    Seconds nextAt = std::numeric_limits<Seconds>::infinity();
+    /** The chain's private clock during a node phase. */
+    Seconds localNow = 0.0;
+    /** True while runPending is executing (chain context); false in
+     *  controller context, where kicks anchor to controlTime(). */
+    bool running = false;
+    /** Chain events run this window (merged into Simulator's count). */
+    std::uint64_t eventsRun = 0;
+    /** Staged side effects, time-nondecreasing by construction. */
+    std::vector<StagedRec> recs;
+    /** Snapshot being replayed at the current boundary (recycled so
+     *  steady-state windows allocate nothing). */
+    std::vector<StagedRec> replay;
+    std::size_t cursor = 0;
+
+    void
+    stage(const StagedRec &rec)
+    {
+        recs.push_back(rec);
+    }
+};
+
+/** One lane's staged batch paired with its canonical rank — the input
+ *  shape of lockstepMergeOrder (exposed for the property test). */
+struct LaneBatchView
+{
+    std::size_t order = 0;
+    const std::vector<StagedRec> *recs = nullptr;
+};
+
+/**
+ * Canonical boundary replay order over per-lane staged batches:
+ * ascending (time, lane order, intra-lane index). This is exactly the
+ * comparison the engine's boundary merge uses, factored out pure so
+ * tests/test_properties.cc can prove that any permutation of worker
+ * completion orders reconstructs the identical sequence. Returns
+ * (lane order, index-within-that-lane) pairs.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+lockstepMergeOrder(const std::vector<LaneBatchView> &views);
+
+class LockstepEngine
+{
+  public:
+    /**
+     * `window` is the control-plane period δ (> 0); `threads` is the
+     * node-phase worker count (1 = inline, no pool — the serial
+     * oracle the differential tests compare against).
+     */
+    LockstepEngine(Simulator &sim, Seconds window, int threads);
+    ~LockstepEngine();
+
+    LockstepEngine(const LockstepEngine &) = delete;
+    LockstepEngine &operator=(const LockstepEngine &) = delete;
+
+    /** Create the lane for a partition chain and bind it to `client`.
+     *  `order` (the partition's viewPos) must be unique. */
+    void registerLane(std::size_t order, LockstepClient *client);
+
+    /** Lockstep counterpart of Simulator::runUntil: run whole windows
+     *  whose boundary is <= `until`, then advance chains (staging
+     *  only) through the partial tail cell and pin the clock. */
+    Seconds runUntil(Seconds until);
+
+    /** Lockstep counterpart of Simulator::run: loop windows until the
+     *  queue is empty, every chain is idle and nothing is staged. */
+    Seconds run();
+
+    /**
+     * Replay everything staged at times <= the current clock right
+     * now, off-grid. Session::inject calls this before applying an
+     * intervention so the controller (and the trace, which must stay
+     * time-monotone) sees a fully synchronized state at the injection
+     * point. A run without injections never replays off-grid.
+     */
+    void flushStaged();
+
+    /** The grid boundary controller-context work anchors to: kicks
+     *  from boundary replay or an off-grid inject() start chains at
+     *  this time, keeping every staged timestamp >= all replayed
+     *  ones. */
+    Seconds controlTime() const { return ctl_; }
+
+    Seconds window() const { return window_; }
+    int threads() const { return threads_; }
+
+    /** Node-phase windows executed (at least one chain ran). */
+    std::uint64_t windowsRun() const { return windows_; }
+    /** Staged records replayed at boundaries. */
+    std::uint64_t recordsMerged() const { return merged_; }
+
+  private:
+    /** Smallest grid point >= t (the grid is {k·δ, k >= 0}). */
+    Seconds gridCeil(Seconds t) const;
+    /** Earliest pending work: chain events, staged records, or the
+     *  global queue. Infinity when fully drained. */
+    Seconds earliestWork() const;
+    /** Advance every chain with work to `upTo` (parallel fan-out). */
+    void nodePhase(Seconds upTo);
+    /** Serial controller phase: replay staged records merged with
+     *  global events up to `b`, anchoring new work at `ctlAnchor`. */
+    void boundary(Seconds b, Seconds ctlAnchor);
+    void runLane(LockstepLane &lane, Seconds upTo);
+
+    Simulator &sim_;
+    Seconds window_;
+    int threads_;
+    Seconds ctl_ = 0.0;
+    std::vector<std::unique_ptr<LockstepLane>> lanes_;
+    /** Lanes sorted by `order` — the canonical merge scan order. */
+    std::vector<LockstepLane *> order_;
+    /** Scratch: lanes active in the current node phase. */
+    std::vector<LockstepLane *> active_;
+    /** Persistent workers, created at the first parallel window. */
+    std::unique_ptr<sweep::TaskPool> pool_;
+    std::uint64_t windows_ = 0;
+    std::uint64_t merged_ = 0;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_SIM_LOCKSTEP_HH

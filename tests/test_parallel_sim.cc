@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Differential tests for the time-windowed lockstep engine
+ * (sim/lockstep.hh). The contract under test is *thread-count
+ * invariance*: a lockstep run is byte-identical at every worker
+ * count, with `simThreads = 1` (no pool, inline node phase) as the
+ * serial oracle. Coverage:
+ *
+ *   - a >= 20-seed fuzz comparing full serialized reports (with
+ *     counters and attribution enabled) across thread counts
+ *     {1, 2, 3, hardware_concurrency};
+ *   - the intervention-heavy catalog scenarios (fleet-640,
+ *     fleet-node-failure, fleet-surge-scale) at 1 vs N threads;
+ *   - stepped advances and mid-run Session::inject, both of which
+ *     force off-grid flushes of the staged queues;
+ *   - lockstep self-consistency of stepped vs one-shot runs;
+ *   - config validation of the new simThreads / simWindow knobs.
+ *
+ * The default engine's instantaneous control plane is intentionally
+ * NOT byte-compared against lockstep (the semantics differ by design;
+ * see docs/ARCHITECTURE.md "Lockstep parallel phase").
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/session.hh"
+#include "metrics/report.hh"
+#include "scenario/scenario.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+/** A small, fast experiment (mirrors test_session.cc's smallConfig). */
+ExperimentConfig
+smallConfig(std::uint64_t seed)
+{
+    ExperimentConfig cfg;
+    cfg.system = SystemKind::Slinfer;
+    cfg.cluster.cpuNodes = 2;
+    cfg.cluster.gpuNodes = 2;
+    cfg.models = replicateModel(llama2_7b(), 8);
+    AzureTraceConfig tc;
+    tc.numModels = 8;
+    tc.duration = 120.0;
+    tc.seed = seed;
+    cfg.trace = generateAzureTrace(tc);
+    cfg.duration = 120.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Thread counts every differential test sweeps: the inline oracle,
+ *  two small pools, and one per hardware thread. */
+std::vector<int>
+threadCounts()
+{
+    std::vector<int> counts = {1, 2, 3};
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw > 0 && std::find(counts.begin(), counts.end(), hw) ==
+                      counts.end())
+        counts.push_back(hw);
+    return counts;
+}
+
+std::string
+runLockstep(ExperimentConfig cfg, int threads)
+{
+    cfg.simThreads = threads;
+    return toJson(runExperiment(cfg));
+}
+
+// The headline fuzz: 20 seeds, full reports (counters + attribution
+// on, so the comparison covers the flight recorder and the anatomy
+// ledger too), byte-identical at every thread count.
+TEST(ParallelSim, FuzzTwentySeedsByteIdenticalAcrossThreadCounts)
+{
+    const std::vector<int> counts = threadCounts();
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ExperimentConfig cfg = smallConfig(seed);
+        cfg.obs.counters = true;
+        cfg.obs.anatomy = true;
+        const std::string oracle = runLockstep(cfg, 1);
+        for (int n : counts) {
+            if (n == 1)
+                continue;
+            EXPECT_EQ(oracle, runLockstep(cfg, n))
+                << "seed " << seed << ", threads " << n;
+        }
+    }
+}
+
+// Mid-run interventions force Session::inject's off-grid staged
+// flush; the stepped advance exercises the partial-tail node phase.
+// Both must preserve thread-count invariance.
+TEST(ParallelSim, InjectAndSteppedAdvanceStayByteIdentical)
+{
+    for (std::uint64_t seed : {7u, 21u, 99u}) {
+        std::vector<std::string> reports;
+        for (int n : threadCounts()) {
+            ExperimentConfig cfg = smallConfig(seed);
+            cfg.obs.counters = true;
+            cfg.obs.anatomy = true;
+            cfg.simThreads = n;
+            Session s(cfg);
+            s.advanceTo(17.3); // off the 0.05s grid on purpose
+            Intervention fail;
+            fail.kind = Intervention::Kind::NodeFail;
+            fail.node = 1;
+            s.inject(fail);
+            s.advanceTo(60.0);
+            Intervention restore;
+            restore.kind = Intervention::Kind::NodeRestore;
+            restore.node = 1;
+            s.inject(restore);
+            Intervention burst;
+            burst.kind = Intervention::Kind::ArrivalBurst;
+            burst.model = 2;
+            burst.rpm = 240.0;
+            burst.duration = 20.0;
+            s.inject(burst);
+            for (int i = 0; i < 5; ++i)
+                s.advanceBy(12.0);
+            s.advanceTo(cfg.duration);
+            reports.push_back(toJson(s.finish()));
+        }
+        for (std::size_t i = 1; i < reports.size(); ++i)
+            EXPECT_EQ(reports[0], reports[i]) << "seed " << seed;
+    }
+}
+
+// Lockstep must obey the PR 5 stepped-advance contract against
+// itself: slicing the clock differently never changes the run.
+TEST(ParallelSim, SteppedEqualsOneShotAtEveryThreadCount)
+{
+    for (int n : threadCounts()) {
+        ExperimentConfig cfg = smallConfig(5);
+        cfg.simThreads = n;
+        const std::string oneShot = toJson(runExperiment(cfg));
+
+        Session s(cfg);
+        s.advanceTo(0.013); // sub-window slice
+        s.advanceTo(33.27);
+        s.advanceTo(33.28); // a second slice inside the same cell
+        s.advanceTo(cfg.duration);
+        EXPECT_EQ(oneShot, toJson(s.finish())) << "threads " << n;
+    }
+}
+
+// The intervention-heavy catalog scenarios at fleet scale: node
+// failure/restore and surge autoscaling timelines, plus the plain
+// fleet-640, each compared 1 vs N.
+TEST(ParallelSim, FleetCatalogScenariosByteIdentical)
+{
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int n = std::max(3, hw);
+    for (const char *name :
+         {"fleet-640", "fleet-node-failure", "fleet-surge-scale"}) {
+        const scenario::Scenario *sc = scenario::byName(name);
+        ASSERT_NE(sc, nullptr) << name;
+        ExperimentConfig cfg =
+            sc->toExperiment(SystemKind::Slinfer, sc->seed);
+        cfg.obs.counters = true;
+        cfg.obs.anatomy = true;
+        EXPECT_EQ(runLockstep(cfg, 1), runLockstep(cfg, n)) << name;
+    }
+}
+
+// A coarser control period must also be thread-count invariant (the
+// grid spacing changes the semantics, not the determinism).
+TEST(ParallelSim, WideWindowStaysByteIdentical)
+{
+    ExperimentConfig cfg = smallConfig(13);
+    cfg.simWindow = 0.5;
+    EXPECT_EQ(runLockstep(cfg, 1), runLockstep(cfg, 3));
+}
+
+TEST(ParallelSim, ConfigValidation)
+{
+    ExperimentConfig bad = smallConfig(1);
+    bad.simThreads = -1;
+    EXPECT_DEATH(bad.validate(), "simThreads");
+
+    ExperimentConfig noWindow = smallConfig(1);
+    noWindow.simThreads = 2;
+    noWindow.simWindow = 0.0;
+    EXPECT_DEATH(noWindow.validate(), "simWindow");
+}
+
+// simThreads = 0 keeps the serial engine: runs with the flag absent
+// and explicitly zeroed are the same object code path, and a session
+// built that way reports no lockstep attachment.
+TEST(ParallelSim, DefaultConfigKeepsSerialEngine)
+{
+    ExperimentConfig cfg = smallConfig(2);
+    const std::string a = toJson(runExperiment(cfg));
+    cfg.simThreads = 0;
+    EXPECT_EQ(a, toJson(runExperiment(cfg)));
+}
+
+} // namespace
+} // namespace slinfer

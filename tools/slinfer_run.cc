@@ -35,6 +35,7 @@
 #include "harness/session.hh"
 #include "scenario/scenario.hh"
 #include "scenario/timeline.hh"
+#include "sweep/pool.hh"
 #include "sweep/sweep.hh"
 
 using namespace slinfer;
@@ -75,6 +76,13 @@ usage(std::FILE *to)
         "  --timeseries=<file>    live metrics samples, CSV or .json "
         "(single run)\n"
         "  --sample-every=<sec>   timeseries cadence (default: 1s)\n"
+        "  --parallel-sim[=<n>]   time-windowed lockstep engine with n\n"
+        "                         node-phase threads (default: one per\n"
+        "                         core); results are byte-identical at\n"
+        "                         every n but differ from the serial\n"
+        "                         engine (see docs/ARCHITECTURE.md)\n"
+        "  --sim-window=<sec>     lockstep control period (default: "
+        "0.05s)\n"
         "  --format=json|csv      output format (default: json)\n"
         "  --out=<path>           write the report there instead of "
         "stdout\n"
@@ -193,6 +201,8 @@ main(int argc, char **argv)
     unsigned trace_cats = obs::kAllTraceCats;
     std::string timeseries_path;
     double sample_every = 1.0;
+    int sim_threads = 0;
+    double sim_window = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -249,6 +259,18 @@ main(int argc, char **argv)
             timeseries_path = value();
         } else if (arg.rfind("--sample-every=", 0) == 0) {
             sample_every = parseSeconds(value(), "--sample-every");
+        } else if (arg == "--parallel-sim") {
+            sim_threads = sweep::defaultJobs();
+        } else if (arg.rfind("--parallel-sim=", 0) == 0) {
+            std::uint64_t n = parseCount(value(), "--parallel-sim");
+            if (n == 0 || n > 4096) {
+                std::fprintf(stderr,
+                             "--parallel-sim must be in [1, 4096]\n");
+                return 2;
+            }
+            sim_threads = static_cast<int>(n);
+        } else if (arg.rfind("--sim-window=", 0) == 0) {
+            sim_window = parseSeconds(value(), "--sim-window");
         } else if (arg.rfind("--format=", 0) == 0) {
             format = value();
         } else if (arg.rfind("--out=", 0) == 0) {
@@ -352,6 +374,9 @@ main(int argc, char **argv)
             cfg.obs.traceCats = trace_cats;
             if (!timeseries_path.empty())
                 cfg.obs.sampleEvery = sample_every;
+            cfg.simThreads = sim_threads;
+            if (sim_window > 0)
+                cfg.simWindow = sim_window;
             Report report;
             if (cfg.obs.any()) {
                 // The stepwise lifecycle keeps the flight recorder
