@@ -1,0 +1,163 @@
+#include "chaos/probe.hh"
+
+#include <algorithm>
+
+namespace slinfer
+{
+namespace chaos
+{
+
+ResilienceProbe::ResilienceProbe(
+    Simulator &sim, const std::vector<std::unique_ptr<Node>> &nodes,
+    const ControllerBase &ctl, const Recorder &rec, Seconds duration)
+    : sim_(sim), nodes_(nodes), ctl_(ctl), rec_(rec),
+      duration_(duration)
+{
+    sim_.scheduleAt(duration_, [this] { closeWindow(); });
+}
+
+void
+ResilienceProbe::accumulate(Seconds now)
+{
+    Seconds end = std::min(now, duration_);
+    if (end <= lastT_)
+        return;
+    double total = static_cast<double>(nodes_.size());
+    double healthy =
+        total > 0
+            ? (total - static_cast<double>(failedNow_)) / total
+            : 1.0;
+    availabilityInt_ += healthy * (end - lastT_);
+    if (failedNow_ > 0)
+        degradedTime_ += end - lastT_;
+    lastT_ = end;
+}
+
+std::size_t
+ResilienceProbe::pendingDepth() const
+{
+    std::size_t depth = 0;
+    for (std::size_t d : ctl_.pendingPerModel())
+        depth += d;
+    return depth;
+}
+
+void
+ResilienceProbe::onNodeEvent(const Intervention &iv)
+{
+    if (iv.node < 0 ||
+        static_cast<std::size_t>(iv.node) >= nodes_.size())
+        return; // the controller hook raises the error
+    Seconds now = sim_.now();
+    const Node *n = nodes_[iv.node].get();
+    if (iv.kind == Intervention::Kind::NodeFail) {
+        if (n->failed() || failAt_.count(iv.node))
+            return; // no-op re-fail: not a fault event
+        accumulate(now);
+        if (failedNow_ == 0) {
+            // First concurrent fault: open a degraded interval. If a
+            // recovery poll from the previous fault is still running,
+            // that recovery never completed — it yields no sample, and
+            // the fresh baseline intentionally includes the leftover
+            // backlog (recovering to a backlog we never cleared would
+            // overstate resilience).
+            restoreT_ = -1.0;
+            dropsAtFaultStart_ = rec_.dropped();
+            doneAtFaultStart_ = rec_.completed();
+            baselineDepth_ = pendingDepth();
+        }
+        failAt_[iv.node] = now;
+        ++faultEvents_;
+        ++failedNow_;
+        return;
+    }
+    if (iv.kind == Intervention::Kind::NodeRestore) {
+        auto it = failAt_.find(iv.node);
+        if (!n->failed() || it == failAt_.end())
+            return; // no-op restore of a healthy node
+        accumulate(now);
+        mttrSum_ += now - it->second;
+        ++restores_;
+        failAt_.erase(it);
+        --failedNow_;
+        if (failedNow_ == 0) {
+            // Full restore: close the degraded interval and start
+            // polling for steady state (backlog back to baseline).
+            lostUnderFault_ += rec_.dropped() - dropsAtFaultStart_;
+            doneUnderFault_ += rec_.completed() - doneAtFaultStart_;
+            restoreT_ = now;
+            if (now + 1.0 <= duration_)
+                sim_.schedule(1.0, [this] { pollRecovery(); });
+        }
+    }
+}
+
+void
+ResilienceProbe::pollRecovery()
+{
+    if (restoreT_ < 0 || closed_)
+        return; // a new fault started, or the window closed
+    Seconds now = sim_.now();
+    if (pendingDepth() <= baselineDepth_) {
+        recoverySum_ += now - restoreT_;
+        ++recoveries_;
+        restoreT_ = -1.0;
+        return;
+    }
+    if (now + 1.0 <= duration_)
+        sim_.schedule(1.0, [this] { pollRecovery(); });
+}
+
+void
+ResilienceProbe::closeWindow()
+{
+    accumulate(duration_);
+    if (failedNow_ > 0) {
+        // The run ends degraded: close the open interval here so the
+        // goodput split stays exact.
+        lostUnderFault_ += rec_.dropped() - dropsAtFaultStart_;
+        doneUnderFault_ += rec_.completed() - doneAtFaultStart_;
+    } else if (restoreT_ >= 0) {
+        // Recovery still in flight at the boundary: censored sample.
+        recoverySum_ += duration_ - restoreT_;
+        ++recoveries_;
+        restoreT_ = -1.0;
+    }
+    completedAtClose_ = rec_.completed();
+    droppedAtClose_ = rec_.dropped();
+    closed_ = true;
+}
+
+void
+ResilienceProbe::finalize(Report::Resilience &out) const
+{
+    out.enabled = true;
+    out.faultEvents = faultEvents_;
+    out.restores = restores_;
+    out.availability =
+        duration_ > 0 ? availabilityInt_ / duration_ : 1.0;
+    out.mttrMeanS =
+        restores_ ? mttrSum_ / static_cast<double>(restores_) : 0.0;
+    out.degradedTimeS = degradedTime_;
+    out.lostPerFault =
+        faultEvents_ ? static_cast<double>(lostUnderFault_) /
+                           static_cast<double>(faultEvents_)
+                     : 0.0;
+    out.goodputFaultRpm =
+        degradedTime_ > 0
+            ? static_cast<double>(doneUnderFault_) /
+                  (degradedTime_ / 60.0)
+            : 0.0;
+    Seconds healthyTime = duration_ - degradedTime_;
+    std::size_t doneHealthy = completedAtClose_ - doneUnderFault_;
+    out.goodputHealthyRpm =
+        healthyTime > 0 ? static_cast<double>(doneHealthy) /
+                              (healthyTime / 60.0)
+                        : 0.0;
+    out.recoveryMeanS =
+        recoveries_ ? recoverySum_ / static_cast<double>(recoveries_)
+                    : 0.0;
+}
+
+} // namespace chaos
+} // namespace slinfer

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ResilienceProbe: the measurement half of the chaos engine.
+ *
+ * A Session owns one probe when ExperimentConfig::resilienceReport is
+ * set. The probe is a pure observer of node-fail/node-restore
+ * interventions plus a handful of read-only cluster queries; it
+ * schedules only its own wakeup events (a window-close at the metrics
+ * boundary and a 1 s recovery poll after a full restore), so attaching
+ * it never changes a controller decision — but it does add events, so
+ * a probed run is only byte-comparable to other probed runs.
+ *
+ * It produces the Report::Resilience family: availability (time-
+ * weighted healthy-node fraction), per-fault MTTR, requests lost per
+ * fault event, goodput under fault vs healthy, and time-to-steady-
+ * state after restore (pending backlog back to its pre-fault depth).
+ */
+
+#ifndef SLINFER_CHAOS_PROBE_HH
+#define SLINFER_CHAOS_PROBE_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hh"
+#include "harness/intervention.hh"
+#include "metrics/report.hh"
+
+namespace slinfer
+{
+namespace chaos
+{
+
+class ResilienceProbe
+{
+  public:
+    /** Arms a window-close event at `duration`, so the integrals stop
+     *  exactly at the metrics boundary even though finish() drains
+     *  events past it. */
+    ResilienceProbe(Simulator &sim,
+                    const std::vector<std::unique_ptr<Node>> &nodes,
+                    const ControllerBase &ctl, const Recorder &rec,
+                    Seconds duration);
+
+    ResilienceProbe(const ResilienceProbe &) = delete;
+    ResilienceProbe &operator=(const ResilienceProbe &) = delete;
+
+    /** A node-fail or node-restore intervention is about to be
+     *  applied (the Session notifies *before* routing to the
+     *  controller, so the pre-fault pending depth can be snapshotted
+     *  before the node's requests are evicted into the queue). The
+     *  probe re-derives whether the event actually changes state, so
+     *  no-op re-fails and spurious restores are not counted. */
+    void onNodeEvent(const Intervention &iv);
+
+    /** Fill the report block (after the run drained). */
+    void finalize(Report::Resilience &out) const;
+
+  private:
+    /** Integrate availability/degraded time over [lastT_, now). */
+    void accumulate(Seconds now);
+    std::size_t pendingDepth() const;
+    void pollRecovery();
+    void closeWindow();
+
+    Simulator &sim_;
+    const std::vector<std::unique_ptr<Node>> &nodes_;
+    const ControllerBase &ctl_;
+    const Recorder &rec_;
+    Seconds duration_;
+
+    Seconds lastT_ = 0.0;
+    std::size_t failedNow_ = 0;
+    double availabilityInt_ = 0.0;
+    Seconds degradedTime_ = 0.0;
+    bool closed_ = false;
+
+    /** Node id -> fail time of in-progress faults. */
+    std::map<int, Seconds> failAt_;
+    std::uint64_t faultEvents_ = 0;
+    std::uint64_t restores_ = 0;
+    double mttrSum_ = 0.0;
+
+    /** Recorder snapshots at degraded-interval boundaries. */
+    std::size_t dropsAtFaultStart_ = 0;
+    std::size_t doneAtFaultStart_ = 0;
+    std::size_t lostUnderFault_ = 0;
+    std::size_t doneUnderFault_ = 0;
+    /** Recorder totals frozen at the metrics boundary (the drain past
+     *  `duration` must not leak into the goodput split). */
+    std::size_t completedAtClose_ = 0;
+    std::size_t droppedAtClose_ = 0;
+
+    /** Pending-queue depth just before the first concurrent fault;
+     *  the recovery target after full restore. */
+    std::size_t baselineDepth_ = 0;
+    /** Full-restore time while a recovery poll is in flight; < 0
+     *  when not recovering. */
+    Seconds restoreT_ = -1.0;
+    double recoverySum_ = 0.0;
+    std::uint64_t recoveries_ = 0;
+};
+
+} // namespace chaos
+} // namespace slinfer
+
+#endif // SLINFER_CHAOS_PROBE_HH

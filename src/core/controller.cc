@@ -84,6 +84,24 @@ ControllerBase::submit(Request *req)
         dropRequest(req);
         return;
     }
+    // Graceful degradation: while capacity is down, batch-class work
+    // (lax TTFT SLO) yields to latency-critical traffic — queued
+    // without an immediate dispatch attempt past one depth threshold,
+    // shed outright past twice that depth. pending_ may contain
+    // already-settled ghosts, so the depth is a heuristic upper bound;
+    // that is fine for a load-shedding trigger.
+    const ResilienceConfig &res = cfg_.resilience;
+    if (res.shedBatchFirst && failedNodes_ > 0 &&
+        req->ttftSlo >= res.batchSloCutoff) {
+        if (pending_.size() >= 2 * res.shedQueueDepth) {
+            dropRequest(req);
+            return;
+        }
+        if (pending_.size() >= res.shedQueueDepth) {
+            queueRequest(req);
+            return;
+        }
+    }
     if (!tryDispatch(req))
         queueRequest(req);
 }
@@ -249,10 +267,13 @@ ControllerBase::failNode(NodeId node)
         fatal("failNode: unknown node " + std::to_string(node));
     Node *n = nodes_[node].get();
     if (n->failed())
-        return;
+        return; // defined no-op: the node is already fenced
     n->setFailed(true);
-    for (auto &p : n->partitions())
+    ++failedNodes_;
+    for (auto &p : n->partitions()) {
+        p->lastFailedAt = sim_.now();
         index_.onPartitionFailed(*p);
+    }
     drainNodeInstances(n);
 }
 
@@ -263,8 +284,20 @@ ControllerBase::restoreNode(NodeId node)
         fatal("restoreNode: unknown node " + std::to_string(node));
     Node *n = nodes_[node].get();
     if (!n->failed())
-        return;
+        return; // defined no-op: restore of a node that is not failed
     n->setFailed(false);
+    --failedNodes_;
+    // Under the failover-exclusion policy the restored partitions stay
+    // skipped until the window (measured from the failure) expires; a
+    // wakeup at expiry re-runs placement for whatever is still queued.
+    if (cfg_.resilience.failoverExclusion > 0 &&
+        !n->partitions().empty()) {
+        Seconds until = n->partitions().front()->lastFailedAt +
+                        cfg_.resilience.failoverExclusion;
+        if (until > sim_.now())
+            sim_.schedule(until - sim_.now(),
+                          [this] { retryPending(); });
+    }
     for (auto &p : n->partitions()) {
         index_.onPartitionRestored(*p);
         // Residents the interrupted node drain never settled go back
@@ -275,6 +308,38 @@ ControllerBase::restoreNode(NodeId node)
     }
     markAllDecodeDirty();
     retryPending();
+}
+
+void
+ControllerBase::degradeNode(NodeId node, double factor)
+{
+    if (node >= nodes_.size())
+        fatal("degradeNode: unknown node " + std::to_string(node));
+    if (factor <= 0)
+        fatal("degradeNode: factor must be > 0");
+    // The multiplier only shapes future iteration durations, so no
+    // index or scheduler state needs touching; re-degrading just
+    // replaces the factor.
+    for (auto &p : nodes_[node]->partitions())
+        p->perfFactor = factor;
+}
+
+void
+ControllerBase::recoverNode(NodeId node)
+{
+    if (node >= nodes_.size())
+        fatal("recoverNode: unknown node " + std::to_string(node));
+    // Defined no-op on a never-degraded node (perfFactor is already 1).
+    for (auto &p : nodes_[node]->partitions())
+        p->perfFactor = 1.0;
+}
+
+void
+ControllerBase::setNetFactor(double factor)
+{
+    if (factor <= 0)
+        fatal("setNetFactor: factor must be > 0");
+    netFactor_ = factor;
 }
 
 ModelId
@@ -529,6 +594,8 @@ ControllerBase::admitTo(Request *req, Instance *inst)
     }
     req->instance = inst->id;
     req->state = RequestState::Prefill;
+    req->dispatchFailures = 0;
+    req->retryAfter = 0.0;
     if (anat_)
         anat_->onAdmit(*req, inst->state == InstanceState::Loading,
                        sim_.now());
@@ -552,6 +619,8 @@ ControllerBase::admitToDecode(Request *req, Instance *inst)
     req->kvReserved = need;
     req->instance = inst->id;
     req->state = RequestState::Decode;
+    req->dispatchFailures = 0;
+    req->retryAfter = 0.0;
     if (anat_)
         anat_->onDecodeAdmit(*req,
                              inst->state == InstanceState::Loading,
@@ -634,7 +703,8 @@ ControllerBase::retryPending()
         // (admitted/dropped ghosts among them are purged whenever a
         // later round reaches them), so a deep backlog costs the
         // failures actually attempted, not O(queue) churn per event.
-        const int kMaxFailures = 16;
+        const ResilienceConfig &res = cfg_.resilience;
+        const int kMaxFailures = res.retryCap;
         int failures = 0;
         retryStill_.clear();
         while (!pending_.empty() && failures < kMaxFailures) {
@@ -642,11 +712,19 @@ ControllerBase::retryPending()
             pending_.pop_front();
             if (req->state != RequestState::Queued)
                 continue; // dropped or already admitted elsewhere
+            if (res.backoff && req->retryAfter > sim_.now()) {
+                // Parked under backoff: not charged as a failure (the
+                // wakeup armBackoff scheduled re-runs this round).
+                retryStill_.push_back(req);
+                continue;
+            }
             if (!tryDispatch(req)) {
                 if (anat_)
                     anat_->onPlacementRetry(*req);
-                retryStill_.push_back(req);
                 ++failures;
+                if (res.backoff && !armBackoff(req))
+                    continue; // deadline-aware give-up dropped it
+                retryStill_.push_back(req);
             }
         }
         // Preserve arrival order for the survivors, ahead of the
@@ -660,6 +738,40 @@ ControllerBase::retryPending()
         retryDecodePending();
     } while (retryAgain_);
     inRetry_ = false;
+}
+
+bool
+ControllerBase::armBackoff(Request *req)
+{
+    const ResilienceConfig &res = cfg_.resilience;
+    ++req->dispatchFailures;
+    Seconds delay = res.backoffBase;
+    for (int i = 1; i < req->dispatchFailures && delay < res.backoffMax;
+         ++i)
+        delay *= 2.0;
+    delay = std::min(delay, res.backoffMax);
+    if (req->generated == 0) {
+        // Deadline-aware give-up: a request that cannot attempt again
+        // before its TTFT drop deadline can never dispatch in time.
+        // (The deadline event itself fires the same way; dropping here
+        // just skips retry rounds the request was doomed to lose.)
+        Seconds deadline = req->arrival + cfg_.slo.ttft(req->inputLen);
+        if (sim_.now() + delay >= deadline) {
+            dropRequest(req);
+            return false;
+        }
+    }
+    req->retryAfter = sim_.now() + delay;
+    sim_.schedule(delay, [this] { retryPending(); });
+    return true;
+}
+
+bool
+ControllerBase::placementExcluded(const Partition *p) const
+{
+    Seconds w = cfg_.resilience.failoverExclusion;
+    return w > 0 && p->lastFailedAt >= 0 &&
+           sim_.now() < p->lastFailedAt + w;
 }
 
 void
@@ -795,7 +907,8 @@ ControllerBase::takeAfterPrefill(Request *req, Instance *inst)
     if (inst->loadSize() == 0 && inst->state == InstanceState::Active)
         scheduleKeepAlive(inst);
     markAllDecodeDirty();
-    sim_.schedule(MemCostModel::kvMigrationTime(kv_bytes), [this, req] {
+    sim_.schedule(MemCostModel::kvMigrationTime(kv_bytes) * netFactor_,
+                  [this, req] {
         if (models_[req->model].retired) {
             dropRequest(req); // retired mid-transfer; nothing may place
             return;
@@ -1084,7 +1197,7 @@ SlinferController::placementCandidateOk(Partition *p, const Request &req,
     const ModelSpec &spec = models_[req.model].spec;
     if (p->spec.kind == HwKind::Cpu && !d.cpuOk)
         return false;
-    if (!p->openForPlacement())
+    if (!p->openForPlacement() || placementExcluded(p))
         return false;
     if (!cfg_.enableSharing && !p->instances.empty())
         return false;
@@ -1156,7 +1269,7 @@ SlinferController::selectPlacementOracle(const Request &req,
         bool is_cpu = p->spec.kind == HwKind::Cpu;
         if (is_cpu && !d.cpuOk)
             continue;
-        if (!p->openForPlacement())
+        if (!p->openForPlacement() || placementExcluded(p))
             continue;
         if (!cfg_.enableSharing && !p->instances.empty())
             continue;
@@ -1243,6 +1356,9 @@ SlinferController::tryExclusivePlacement(Request *req)
     for (const auto &node : nodes_) {
         if (node->isCpu() || node->inUse() || node->failed())
             continue;
+        if (!node->partitions().empty() &&
+            placementExcluded(node->partitions().front().get()))
+            continue;
         free_nodes.push_back(node.get());
         if (static_cast<int>(free_nodes.size()) == degree)
             break;
@@ -1307,7 +1423,7 @@ SlinferController::demandReclaimFor(Request *req)
     for (Partition *p : allPartitions(cpu_ok)) {
         if (p->spec.kind == HwKind::Cpu && !cpu_ok)
             continue;
-        if (!p->openForPlacement())
+        if (!p->openForPlacement() || placementExcluded(p))
             continue;
         if (!cfg_.enableSharing && !p->instances.empty()) {
             // Exclusive placement: any fully idle partition will do
@@ -1386,7 +1502,7 @@ SlinferController::tryDispatchDecode(Request *req)
                         static_cast<double>(me.spec.maxContext))) *
                     me.spec.kvBytesPerToken();
     for (Partition *p : allPartitions(cfg_.useCpu)) {
-        if (!p->openForPlacement())
+        if (!p->openForPlacement() || placementExcluded(p))
             continue;
         MemorySubsystem &sub = subsystemFor(p);
         if (!sub.canPlace(weights, require))

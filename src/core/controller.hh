@@ -112,6 +112,25 @@ class ControllerBase
      * (Cancelling its future arrivals is the Session's half.)
      */
     void retireModel(ModelId model);
+    /**
+     * Straggler degradation: multiply every perf-model iteration
+     * latency on `node` by `factor` (> 1 slows it down). Orthogonal
+     * to failNode — a degraded node keeps serving, just slower; the
+     * shadow validator does not model the slowdown (an *unmodeled*
+     * straggler is the point of the fault).
+     */
+    void degradeNode(NodeId node, double factor);
+    /** Reset `node`'s degradation multiplier to 1 (defined no-op on a
+     *  never-degraded node). */
+    void recoverNode(NodeId node);
+    /**
+     * Network brownout: multiply PD prefill→decode KV-transfer times
+     * by `factor` fleet-wide (1 restores; exact 1.0 is bit-exact). */
+    void setNetFactor(double factor);
+    double netFactor() const { return netFactor_; }
+
+    /** Nodes currently fenced by failNode (resilience probes). */
+    int failedNodeCount() const { return failedNodes_; }
 
     /** Queued (pending dispatch) requests per model, including parked
      *  PD decode transfers — Session::sample's queue-depth view. */
@@ -211,6 +230,17 @@ class ControllerBase
 
     void queueRequest(Request *req);
     void retryPending();
+    /**
+     * Record a failed dispatch attempt under the backoff policy:
+     * bump the request's failure count, stamp its next permitted
+     * attempt, and schedule a retry wakeup. Returns false when the
+     * deadline-aware give-up dropped the request instead (its next
+     * permitted attempt could only land past the TTFT drop deadline).
+     */
+    bool armBackoff(Request *req);
+    /** Failover exclusion: partition recently failed and still inside
+     *  the ResilienceConfig::failoverExclusion window. */
+    bool placementExcluded(const Partition *p) const;
     /** Terminate a request as dropped (cancelling its drop timer). */
     void dropRequest(Request *req);
     /** Recompute-style eviction: take `req` off `inst` and re-queue
@@ -292,6 +322,11 @@ class ControllerBase
     std::vector<char> decodeDirty_;
     std::uint64_t decodeSeq_ = 0;
     std::size_t decodePendingCount_ = 0;
+
+    /** Fleet-wide PD KV-transfer multiplier (NetBrownout). */
+    double netFactor_ = 1.0;
+    /** Count of currently fenced nodes (graceful-degradation gate). */
+    int failedNodes_ = 0;
 
     std::size_t instancesCreated_ = 0;
     std::size_t evictions_ = 0;

@@ -166,9 +166,12 @@ TokenScheduler::runPrefill(Instance *inst, Request *req)
         panic("TokenScheduler: prefill reserve failed after check");
     req->kvReserved = need;
 
+    // perfFactor is the straggler-degradation multiplier (1.0 when
+    // healthy — bit-exact); set in the global phase (degradeNode), so
+    // reading it inside a lane is thread-count invariant.
     Seconds dur = PerfModel::prefillTime(inst->execSpec, inst->model,
                                          req->contextLen()) *
-                  noise();
+                  noise() * part_.perfFactor;
     if (trace_) {
         if (lane_) {
             StagedRec rec = baseRec(StagedRec::Kind::TraceSpan);
@@ -212,7 +215,7 @@ TokenScheduler::runDecode(Instance *inst)
         panic("TokenScheduler: decode with empty batch");
     Seconds dur = PerfModel::decodeTime(inst->execSpec, inst->model, batch,
                                         inst->avgContextLen()) *
-                  noise();
+                  noise() * part_.perfFactor;
     if (trace_) {
         if (lane_) {
             StagedRec rec = baseRec(StagedRec::Kind::TraceSpan);

@@ -48,6 +48,20 @@ struct Partition
      * (ControllerBase::failNode / restoreNode).
      */
     bool failed = false;
+    /**
+     * Straggler multiplier applied to every perf-model iteration
+     * latency executed here (node-degrade intervention;
+     * ControllerBase::degradeNode). 1.0 is healthy — the multiply by
+     * exactly 1.0 is bit-exact, so undegraded runs are unchanged.
+     */
+    double perfFactor = 1.0;
+    /**
+     * Sim time of the most recent node-failure that fenced this
+     * partition; < 0 if it never failed. Read by the failover
+     * exclusion policy (ResilienceConfig::failoverExclusion) to keep
+     * placements off recently failed hardware.
+     */
+    Seconds lastFailedAt = -1.0;
 
     /**
      * Running optimistic budget: weights + committed KV target of

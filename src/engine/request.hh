@@ -76,6 +76,13 @@ struct Request
     InstanceId instance = 0;
     /** KV tokens currently reserved for this request (block-rounded). */
     Tokens kvReserved = 0;
+    /** Consecutive failed dispatch attempts since the last admission
+     *  (resilience backoff; ResilienceConfig::backoff). */
+    int dispatchFailures = 0;
+    /** Earliest sim time the next dispatch attempt is permitted under
+     *  backoff; attempts before this park the request instead of
+     *  charging a retry. <= now means "try immediately". */
+    Seconds retryAfter = 0.0;
 
     /** Absolute deadline of the next token (Eq. 1). */
     Seconds deadlineForNextToken() const;

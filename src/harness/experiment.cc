@@ -1,6 +1,8 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "common/log.hh"
 #include "harness/session.hh"
@@ -67,17 +69,33 @@ ExperimentConfig::validate() const
         fatal("ExperimentConfig: lockstep mode needs a positive "
               "`simWindow`");
 
+    // Timeline well-formedness. Events past the metrics window would
+    // silently never fire ("dead events"), so they are rejected too.
+    Seconds horizon = duration > 0 ? duration : stamped;
+    int totalNodes = cluster.cpuNodes + cluster.gpuNodes;
     for (const Intervention &iv : timeline) {
         std::string name = interventionKindName(iv.kind);
         if (iv.at < 0)
             fatal("ExperimentConfig: timeline '" + name +
                   "' scheduled before t=0");
+        if (iv.at > horizon + 1e-9)
+            fatal("ExperimentConfig: timeline '" + name + "' at t=" +
+                  std::to_string(iv.at) +
+                  " is scheduled past the experiment duration (" +
+                  std::to_string(horizon) + " s); it would never fire");
         switch (iv.kind) {
           case Intervention::Kind::NodeFail:
           case Intervention::Kind::NodeRestore:
+          case Intervention::Kind::NodeDegrade:
+          case Intervention::Kind::NodeRecover:
             if (iv.node < 0)
                 fatal("ExperimentConfig: timeline '" + name +
                       "' needs `node`");
+            if (iv.node >= totalNodes)
+                fatal("ExperimentConfig: timeline '" + name +
+                      "' references unknown node " +
+                      std::to_string(iv.node) + " (cluster has " +
+                      std::to_string(totalNodes) + " nodes)");
             break;
           case Intervention::Kind::ModelRedeploy:
           case Intervention::Kind::ModelRetire:
@@ -96,11 +114,56 @@ ExperimentConfig::validate() const
                 fatal("ExperimentConfig: timeline 'arrival-scale' "
                       "needs a nonnegative `factor`");
             break;
+          case Intervention::Kind::NetBrownout:
+            if (iv.factor <= 0)
+                fatal("ExperimentConfig: timeline 'net-brownout' "
+                      "needs a positive `factor`");
+            break;
+          case Intervention::Kind::NetRestore:
+            break;
+        }
+        if (iv.kind == Intervention::Kind::NodeDegrade &&
+            iv.factor <= 0) {
+            fatal("ExperimentConfig: timeline 'node-degrade' needs a "
+                  "positive `factor`");
         }
         if (iv.kind == Intervention::Kind::ArrivalBurst &&
             (iv.rpm <= 0 || iv.duration <= 0)) {
             fatal("ExperimentConfig: timeline 'arrival-burst' needs "
                   "positive `rpm` and `duration`");
+        }
+    }
+
+    // Per-node fail/restore pairing: replay the fail-kind events in
+    // fire order and reject sequences that would hit the hooks' silent
+    // no-op path (duplicate fails, restores of healthy nodes) — a
+    // scripted timeline doing that is almost certainly a typo'd node
+    // id or a missing restore. Equal-time events apply in timeline
+    // order, matching how the Session arms them.
+    std::vector<std::size_t> order(timeline.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return timeline[a].at < timeline[b].at;
+                     });
+    std::map<int, bool> nodeFailed;
+    for (std::size_t idx : order) {
+        const Intervention &iv = timeline[idx];
+        if (iv.kind == Intervention::Kind::NodeFail) {
+            if (nodeFailed[iv.node])
+                fatal("ExperimentConfig: duplicate node-fail on node " +
+                      std::to_string(iv.node) + " at t=" +
+                      std::to_string(iv.at) +
+                      " (it is already failed; missing node-restore?)");
+            nodeFailed[iv.node] = true;
+        } else if (iv.kind == Intervention::Kind::NodeRestore) {
+            if (!nodeFailed[iv.node])
+                fatal("ExperimentConfig: node-restore on node " +
+                      std::to_string(iv.node) + " at t=" +
+                      std::to_string(iv.at) +
+                      " without a preceding node-fail");
+            nodeFailed[iv.node] = false;
         }
     }
 }

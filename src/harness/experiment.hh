@@ -11,6 +11,7 @@
 #ifndef SLINFER_HARNESS_EXPERIMENT_HH
 #define SLINFER_HARNESS_EXPERIMENT_HH
 
+#include "chaos/chaos.hh"
 #include "harness/intervention.hh"
 #include "harness/systems.hh"
 #include "metrics/report.hh"
@@ -67,6 +68,21 @@ struct ExperimentConfig
      * (harness/intervention.hh). Empty for a plain run.
      */
     Timeline timeline;
+    /**
+     * Chaos engine (chaos/chaos.hh): stochastic fault processes
+     * expanded into a deterministic intervention schedule from `seed`
+     * at Session build time and appended to `timeline` (then validated
+     * and armed like hand-written entries). Empty = no chaos, and the
+     * run is byte-identical to a pre-chaos one.
+     */
+    chaos::ChaosConfig chaos;
+    /**
+     * Attach the resilience probe (chaos/probe.hh) and emit the
+     * Report::Resilience block (availability, MTTR, recovery time).
+     * Off by default; the probe schedules its own wakeup events, so a
+     * probed run is byte-comparable only to other probed runs.
+     */
+    bool resilienceReport = false;
     /**
      * Split the metrics window into this many equal report windows
      * (Report::windows gains per-window TTFT/throughput rows). 0 (the

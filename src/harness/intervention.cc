@@ -14,6 +14,10 @@ interventionKindName(Intervention::Kind kind)
       case Intervention::Kind::ModelRetire: return "model-retire";
       case Intervention::Kind::ArrivalScale: return "arrival-scale";
       case Intervention::Kind::ArrivalBurst: return "arrival-burst";
+      case Intervention::Kind::NodeDegrade: return "node-degrade";
+      case Intervention::Kind::NodeRecover: return "node-recover";
+      case Intervention::Kind::NetBrownout: return "net-brownout";
+      case Intervention::Kind::NetRestore: return "net-restore";
     }
     return "?";
 }
@@ -25,7 +29,9 @@ tryParseInterventionKind(const std::string &name, Intervention::Kind &out)
         Intervention::Kind::NodeFail,     Intervention::Kind::NodeRestore,
         Intervention::Kind::ModelDeploy,  Intervention::Kind::ModelRedeploy,
         Intervention::Kind::ModelRetire,  Intervention::Kind::ArrivalScale,
-        Intervention::Kind::ArrivalBurst,
+        Intervention::Kind::ArrivalBurst, Intervention::Kind::NodeDegrade,
+        Intervention::Kind::NodeRecover,  Intervention::Kind::NetBrownout,
+        Intervention::Kind::NetRestore,
     };
     for (Intervention::Kind kind : kinds) {
         if (name == interventionKindName(kind)) {

@@ -48,6 +48,17 @@ struct Intervention
         /** Inject a Poisson burst of `rpm` requests/minute for
          *  `model`, lasting `duration` seconds. */
         ArrivalBurst,
+        /** Straggler: multiply node `node`'s perf-model iteration
+         *  latencies by `factor` (> 1 slows it down). Orthogonal to
+         *  NodeFail — a degraded node still accepts placements. */
+        NodeDegrade,
+        /** Reset node `node`'s degradation multiplier to 1. */
+        NodeRecover,
+        /** Network brownout: multiply PD KV-transfer times by
+         *  `factor` fleet-wide until NetRestore. */
+        NetBrownout,
+        /** End a network brownout (transfer multiplier back to 1). */
+        NetRestore,
     };
 
     Kind kind = Kind::NodeFail;
@@ -60,7 +71,8 @@ struct Intervention
     int model = -1;
     /** Deployed model (ModelDeploy). */
     ModelSpec spec;
-    /** Arrival multiplier (ArrivalScale). */
+    /** Arrival multiplier (ArrivalScale), perf-latency multiplier
+     *  (NodeDegrade), or KV-transfer multiplier (NetBrownout). */
     double factor = 1.0;
     /** Burst rate, requests/minute (ArrivalBurst). */
     double rpm = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chaos/probe.hh"
 #include "common/log.hh"
 
 namespace slinfer
@@ -15,6 +16,22 @@ namespace slinfer
 Session::Session(const ExperimentConfig &cfg)
     : cfg_(cfg), ivRng_(Rng(cfg.seed).fork(0xA11CE))
 {
+    // Chaos expands into ordinary timeline entries *before* validation,
+    // so generated schedules obey the same well-formedness rules as
+    // hand-written ones (and overlapping fail ranges are rejected, not
+    // silently no-op'd). Generation is a pure function of (config,
+    // duration, seed): the same faults fire at any --jobs or
+    // --parallel-sim thread count.
+    if (cfg_.chaos.enabled()) {
+        Seconds dur =
+            cfg_.arrivals ? cfg_.arrivals->duration() : cfg_.trace.duration;
+        if (cfg_.duration > 0)
+            dur = cfg_.duration;
+        Timeline extra =
+            chaos::generateChaosTimeline(cfg_.chaos, dur, cfg_.seed);
+        cfg_.timeline.insert(cfg_.timeline.end(), extra.begin(),
+                             extra.end());
+    }
     cfg_.validate();
 
     // The flight recorder exists only when something is enabled; its
@@ -102,6 +119,13 @@ Session::Session(const ExperimentConfig &cfg)
     sim_.schedule(1.0, [this] { sampleKv(); });
     for (const Intervention &iv : cfg_.timeline)
         sim_.scheduleAt(iv.at, [this, iv] { applyIntervention(iv); });
+
+    // The resilience probe arms its window-close event here, after the
+    // timeline: equal-time intervention events keep firing before it.
+    if (cfg_.resilienceReport) {
+        probe_ = std::make_unique<chaos::ResilienceProbe>(
+            sim_, cluster_.nodes, *controller_, recorder_, duration_);
+    }
 
     // Timeseries sampling starts with a t=0 row; later rows are taken
     // by chopping advances at the sample cadence (advanceSampled).
@@ -295,6 +319,8 @@ Session::finish()
         a.windowLen = led.windowLength();
         a.perWindow = led.perWindow();
     }
+    if (probe_)
+        probe_->finalize(report.resilience);
     return report;
 }
 
@@ -356,12 +382,32 @@ Session::applyIntervention(const Intervention &iv)
                                interventionKindName(iv.kind), sim_.now(),
                                obs::kPidController, 0);
     }
+    // The probe observes fail/restore *before* the controller hook:
+    // it needs the pre-fault pending depth (failNode evicts the node's
+    // requests into the queue) and the pre-event node state to reject
+    // no-op duplicates.
+    if (probe_ && (iv.kind == Intervention::Kind::NodeFail ||
+                   iv.kind == Intervention::Kind::NodeRestore))
+        probe_->onNodeEvent(iv);
     switch (iv.kind) {
       case Intervention::Kind::NodeFail:
         controller_->failNode(static_cast<NodeId>(iv.node));
         break;
       case Intervention::Kind::NodeRestore:
         controller_->restoreNode(static_cast<NodeId>(iv.node));
+        break;
+      case Intervention::Kind::NodeDegrade:
+        controller_->degradeNode(static_cast<NodeId>(iv.node),
+                                 iv.factor);
+        break;
+      case Intervention::Kind::NodeRecover:
+        controller_->recoverNode(static_cast<NodeId>(iv.node));
+        break;
+      case Intervention::Kind::NetBrownout:
+        controller_->setNetFactor(iv.factor);
+        break;
+      case Intervention::Kind::NetRestore:
+        controller_->setNetFactor(1.0);
         break;
       case Intervention::Kind::ModelDeploy: {
         // The deployed model samples lengths from the scenario's

@@ -41,6 +41,11 @@
 namespace slinfer
 {
 
+namespace chaos
+{
+class ResilienceProbe;
+}
+
 /**
  * A consistent snapshot of the live run at sample() time, read off
  * the recorder and the controller's incremental cluster indices
@@ -186,6 +191,10 @@ class Session
     std::unique_ptr<obs::FlightRecorder> obs_;
     /** Next timeseries sample boundary (sim time). */
     Seconds nextSample_ = 0.0;
+    /** Resilience probe (null unless cfg.resilienceReport). Notified
+     *  of node fail/restore *before* the controller hooks run, so it
+     *  can snapshot pre-fault state (chaos/probe.hh). */
+    std::unique_ptr<chaos::ResilienceProbe> probe_;
 };
 
 } // namespace slinfer

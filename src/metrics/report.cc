@@ -132,6 +132,26 @@ reportAttributionMetrics(const Report &r)
     return out;
 }
 
+std::vector<std::pair<std::string, double>>
+reportResilienceMetrics(const Report &r)
+{
+    std::vector<std::pair<std::string, double>> out;
+    if (!r.resilience.enabled)
+        return out;
+    const Report::Resilience &s = r.resilience;
+    out.emplace_back("res_fault_events",
+                     static_cast<double>(s.faultEvents));
+    out.emplace_back("res_restores", static_cast<double>(s.restores));
+    out.emplace_back("res_availability", s.availability);
+    out.emplace_back("res_mttr_mean_s", s.mttrMeanS);
+    out.emplace_back("res_degraded_time_s", s.degradedTimeS);
+    out.emplace_back("res_lost_per_fault", s.lostPerFault);
+    out.emplace_back("res_goodput_fault_rpm", s.goodputFaultRpm);
+    out.emplace_back("res_goodput_healthy_rpm", s.goodputHealthyRpm);
+    out.emplace_back("res_recovery_mean_s", s.recoveryMeanS);
+    return out;
+}
+
 namespace
 {
 
@@ -229,6 +249,21 @@ emitJson(const Report &r, const char *nl, const char *indent,
             os << "]";
         }
         os << "]}";
+    }
+    // Resilience only when the run attached the chaos probe, so
+    // chaos-free reports stay byte-identical.
+    if (r.resilience.enabled) {
+        const Report::Resilience &s = r.resilience;
+        os << "," << nl << indent << "\"resilience\": {";
+        os << "\"fault_events\": " << s.faultEvents
+           << ", \"restores\": " << s.restores
+           << ", \"availability\": " << s.availability
+           << ", \"mttr_mean_s\": " << s.mttrMeanS
+           << ", \"degraded_time_s\": " << s.degradedTimeS
+           << ", \"lost_per_fault\": " << s.lostPerFault
+           << ", \"goodput_fault_rpm\": " << s.goodputFaultRpm
+           << ", \"goodput_healthy_rpm\": " << s.goodputHealthyRpm
+           << ", \"recovery_mean_s\": " << s.recoveryMeanS << "}";
     }
     os << nl << "}";
     return os.str();
@@ -352,6 +387,56 @@ toAttributionCsvRows(const Report &r)
            << s.totalS << ',' << s.p50s << ',' << s.p95s << ','
            << s.p99s << ',' << s.blamed << '\n';
     }
+    return os.str();
+}
+
+std::string
+renderResilience(const Report &r)
+{
+    const Report::Resilience &s = r.resilience;
+    if (!s.enabled)
+        return "";
+    std::ostringstream os;
+    os << "resilience";
+    if (!r.scenario.empty())
+        os << ": " << r.scenario << "/" << r.system << " seed " << r.seed;
+    os << "\n  fault events: " << s.faultEvents
+       << "   restores: " << s.restores << "\n";
+    Table t({"metric", "value"});
+    t.addRow({"availability", Table::num(s.availability, 4)});
+    t.addRow({"mttr_mean_s", Table::num(s.mttrMeanS, 2)});
+    t.addRow({"degraded_time_s", Table::num(s.degradedTimeS, 2)});
+    t.addRow({"lost_per_fault", Table::num(s.lostPerFault, 2)});
+    t.addRow({"goodput_fault_rpm", Table::num(s.goodputFaultRpm, 2)});
+    t.addRow({"goodput_healthy_rpm",
+              Table::num(s.goodputHealthyRpm, 2)});
+    t.addRow({"recovery_mean_s", Table::num(s.recoveryMeanS, 2)});
+    t.print(os);
+    return os.str();
+}
+
+std::string
+reportResilienceCsvHeader()
+{
+    return "system,scenario,seed,fault_events,restores,availability,"
+           "mttr_mean_s,degraded_time_s,lost_per_fault,"
+           "goodput_fault_rpm,goodput_healthy_rpm,recovery_mean_s";
+}
+
+std::string
+toResilienceCsvRows(const Report &r)
+{
+    if (!r.resilience.enabled)
+        return "";
+    const Report::Resilience &s = r.resilience;
+    std::ostringstream os;
+    os.precision(10);
+    os << csvField(r.system) << ',' << csvField(r.scenario) << ','
+       << r.seed << ',' << s.faultEvents << ',' << s.restores << ','
+       << s.availability << ',' << s.mttrMeanS << ','
+       << s.degradedTimeS << ',' << s.lostPerFault << ','
+       << s.goodputFaultRpm << ',' << s.goodputHealthyRpm << ','
+       << s.recoveryMeanS << '\n';
     return os.str();
 }
 

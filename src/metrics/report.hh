@@ -120,6 +120,37 @@ struct Report
     };
     Attribution attribution;
 
+    /**
+     * Resilience metric family (chaos/probe.hh). Emitted only when the
+     * run enabled the resilience probe (ExperimentConfig::
+     * resilienceReport), so plain reports stay byte-identical.
+     */
+    struct Resilience
+    {
+        bool enabled = false;
+        /** Node-failure events that actually fenced a node (no-op
+         *  re-fails are not counted) and their restores. */
+        std::uint64_t faultEvents = 0;
+        std::uint64_t restores = 0;
+        /** Time-weighted mean healthy-node fraction over the run. */
+        double availability = 1.0;
+        /** Mean per-fault repair time (fail -> restore), seconds. */
+        double mttrMeanS = 0.0;
+        /** Total time with >= 1 node fenced, seconds. */
+        double degradedTimeS = 0.0;
+        /** Requests dropped per fault event (drops that land inside
+         *  degraded intervals, divided by faultEvents). */
+        double lostPerFault = 0.0;
+        /** Completions per minute inside / outside degraded time. */
+        double goodputFaultRpm = 0.0;
+        double goodputHealthyRpm = 0.0;
+        /** Mean time from full restore until the pending backlog
+         *  returns to its pre-fault depth (time-to-steady-state),
+         *  seconds; censored at the experiment end. */
+        double recoveryMeanS = 0.0;
+    };
+    Resilience resilience;
+
     /** Build the summary from the two collectors. */
     static Report build(const std::string &system, const Recorder &rec,
                         const ClusterStats &stats,
@@ -149,6 +180,27 @@ reportScalarMetrics(const Report &report);
  */
 std::vector<std::pair<std::string, double>>
 reportAttributionMetrics(const Report &report);
+
+/**
+ * The resilience block's sweep-facing metrics as (json_key, value)
+ * pairs (res_availability, res_mttr_mean_s, res_recovery_mean_s, ...).
+ * Empty when the report has no resilience block, so sweeps over
+ * chaos-free runs are unchanged.
+ */
+std::vector<std::pair<std::string, double>>
+reportResilienceMetrics(const Report &report);
+
+/** Human-readable rendering of the resilience block (empty string
+ *  when the run had no resilience probe). */
+std::string renderResilience(const Report &report);
+
+/** Header line matching toResilienceCsvRows. */
+std::string reportResilienceCsvHeader();
+
+/** One CSV row of the resilience block (empty string when the run had
+ *  no probe); carries system/scenario/seed so the table
+ *  self-identifies. */
+std::string toResilienceCsvRows(const Report &report);
 
 /** Header line matching toCsvRow (scalar fields only). */
 std::string reportCsvHeader();

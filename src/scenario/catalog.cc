@@ -441,6 +441,96 @@ fleetSurgeScale()
     return sc;
 }
 
+// ------------------------------------------------------------------
+// Chaos scenarios: stochastic fault processes (chaos/chaos.hh)
+// expanded into the timeline from the run seed, paired with the
+// controller resilience policies and the resilience-metrics probe.
+// fleet-chaos-correlated is part of the CI smoke grid and the
+// recovery-metrics gate (sweeps/smoke.manifest, sweep/compare.cc).
+// ------------------------------------------------------------------
+
+/** The shared chaos base: the fleet-node-failure load (3+3 cluster,
+ *  node ids 3-5 are the GPUs) with the resilience policies on. */
+Scenario
+chaosBase()
+{
+    Scenario sc;
+    PoissonConfig pc;
+    pc.numModels = 32;
+    pc.duration = 900.0;
+    pc.aggregateRpm = 80.0;
+    sc.arrivals = makePoisson(pc);
+    sc.models = fleet({{llama2_7b(), 32}});
+    sc.cluster.cpuNodes = 3;
+    sc.cluster.gpuNodes = 3;
+    sc.controller.resilience.backoff = true;
+    sc.controller.resilience.failoverExclusion = 30.0;
+    sc.resilienceReport = true;
+    return sc;
+}
+
+Scenario
+fleetChaosFlaky()
+{
+    Scenario sc = chaosBase();
+    sc.name = "fleet-chaos-flaky";
+    sc.summary = "Poisson MTBF/MTTR flaps on every GPU node, with "
+                 "backoff, failover exclusion and batch-first shedding";
+    chaos::FaultProcess flap;
+    flap.kind = chaos::FaultProcess::Kind::NodeFlap;
+    flap.firstNode = 3;
+    flap.lastNode = 5;
+    flap.mtbf = 250.0;
+    flap.mttr = 40.0;
+    sc.chaos.processes.push_back(flap);
+    // Long-input requests (TTFT SLO >= 4 s, i.e. >= 2K input tokens)
+    // count as batch class and shed first while nodes are down.
+    sc.controller.resilience.shedBatchFirst = true;
+    sc.controller.resilience.batchSloCutoff = 4.0;
+    return sc;
+}
+
+Scenario
+fleetChaosCorrelated()
+{
+    Scenario sc = chaosBase();
+    sc.name = "fleet-chaos-correlated";
+    sc.summary = "correlated blast radius: both spare GPU nodes fail "
+                 "together at 300 s for 180 s (recovery-gate scenario)";
+    chaos::FaultProcess blast;
+    blast.kind = chaos::FaultProcess::Kind::CorrelatedFailure;
+    blast.firstNode = 4;
+    blast.lastNode = 5;
+    blast.at = 300.0;
+    blast.hold = 180.0;
+    sc.chaos.processes.push_back(blast);
+    return sc;
+}
+
+Scenario
+fleetChaosStraggler()
+{
+    Scenario sc = chaosBase();
+    sc.name = "fleet-chaos-straggler";
+    sc.summary = "one GPU node runs 3x slower from 200 s, then a "
+                 "fleet-wide 4x PD-transfer brownout from 500 s";
+    chaos::FaultProcess slow;
+    slow.kind = chaos::FaultProcess::Kind::Straggler;
+    slow.firstNode = 5;
+    slow.lastNode = 5;
+    slow.at = 200.0;
+    slow.hold = 300.0;
+    slow.factor = 3.0;
+    sc.chaos.processes.push_back(slow);
+    chaos::FaultProcess brownout;
+    brownout.kind = chaos::FaultProcess::Kind::NetBrownout;
+    brownout.at = 500.0;
+    brownout.hold = 200.0;
+    brownout.factor = 4.0;
+    sc.chaos.processes.push_back(brownout);
+    return sc;
+}
+
 } // namespace
 
 const std::vector<Scenario> &
@@ -454,6 +544,8 @@ all()
         tightSloFlash(), fleet640(),   fleet6400(),
         fleet64000(),   fleetDiurnalSurge(),
         fleetNodeFailure(), fleetRollingDeploy(), fleetSurgeScale(),
+        fleetChaosFlaky(), fleetChaosCorrelated(),
+        fleetChaosStraggler(),
     };
     return catalog;
 }

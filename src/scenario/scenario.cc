@@ -29,6 +29,8 @@ Scenario::toExperiment(SystemKind system, std::uint64_t seed_) const
     cfg.duration = 0.0; // inherit: the scenario is the source of truth
     cfg.controller = controller;
     cfg.timeline = timeline;
+    cfg.chaos = chaos;
+    cfg.resilienceReport = resilienceReport;
     cfg.seed = seed_;
     return cfg;
 }

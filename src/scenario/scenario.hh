@@ -53,6 +53,16 @@ struct Scenario
      */
     Timeline timeline;
 
+    /**
+     * Stochastic fault processes (chaos/chaos.hh) expanded into extra
+     * timeline entries from the run seed. Empty for a fault-free
+     * scenario.
+     */
+    chaos::ChaosConfig chaos;
+    /** Attach the resilience probe and report the Resilience block.
+     *  Set on chaos scenarios. */
+    bool resilienceReport = false;
+
     /** Default seed (slinfer_run --seed overrides). */
     std::uint64_t seed = 5;
 

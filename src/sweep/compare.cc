@@ -30,6 +30,13 @@ defaultGateMetrics()
         {"seg_kv_stall_p95_s", false, 0.05},
         {"seg_decode_gap_p95_s", false, 0.05},
         {"seg_rewind_p95_s", false, 0.05},
+        // Resilience gates: present only on chaos scenarios (probed
+        // runs). CI fails when recovery slows down or faults start
+        // costing more requests than the baseline.
+        {"res_availability", true, 0.01},
+        {"res_mttr_mean_s", false, 2.0},
+        {"res_recovery_mean_s", false, 2.0},
+        {"res_lost_per_fault", false, 2.0},
     };
 }
 

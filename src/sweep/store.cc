@@ -100,6 +100,24 @@ reportFromJson(const JsonValue &v)
             }
         }
     }
+    // The resilience block round-trips for the same reason: cached
+    // chaos runs must summarize identically to fresh ones, or the
+    // recovery-metrics gate would flap on resumed sweeps.
+    const JsonValue *res = v.find("resilience");
+    if (res && res->isObject()) {
+        Report::Resilience &rs = r.resilience;
+        rs.enabled = true;
+        rs.faultEvents =
+            static_cast<std::uint64_t>(res->num("fault_events"));
+        rs.restores = static_cast<std::uint64_t>(res->num("restores"));
+        rs.availability = res->num("availability");
+        rs.mttrMeanS = res->num("mttr_mean_s");
+        rs.degradedTimeS = res->num("degraded_time_s");
+        rs.lostPerFault = res->num("lost_per_fault");
+        rs.goodputFaultRpm = res->num("goodput_fault_rpm");
+        rs.goodputHealthyRpm = res->num("goodput_healthy_rpm");
+        rs.recoveryMeanS = res->num("recovery_mean_s");
+    }
     return r;
 }
 

@@ -116,20 +116,24 @@ summarize(const std::vector<Record> &records, int bootstrapIters)
                                          std::vector<double>{});
                 samples[m + 1].second.push_back(metrics[m].second);
             }
-            // Attribution metrics exist only on instrumented runs, so
-            // they join by name (a mixed group must not shift the
-            // positional scalar columns above).
-            for (const auto &[name, value] :
-                 reportAttributionMetrics(rec->report)) {
-                std::size_t idx = 0;
-                for (; idx < samples.size(); ++idx) {
-                    if (samples[idx].first == name)
-                        break;
+            // Attribution and resilience metrics exist only on
+            // instrumented runs, so they join by name (a mixed group
+            // must not shift the positional scalar columns above).
+            auto joinByName = [&](const auto &named) {
+                for (const auto &[name, value] : named) {
+                    std::size_t idx = 0;
+                    for (; idx < samples.size(); ++idx) {
+                        if (samples[idx].first == name)
+                            break;
+                    }
+                    if (idx == samples.size())
+                        samples.emplace_back(name,
+                                             std::vector<double>{});
+                    samples[idx].second.push_back(value);
                 }
-                if (idx == samples.size())
-                    samples.emplace_back(name, std::vector<double>{});
-                samples[idx].second.push_back(value);
-            }
+            };
+            joinByName(reportAttributionMetrics(rec->report));
+            joinByName(reportResilienceMetrics(rec->report));
         }
 
         for (auto &[name, values] : samples) {

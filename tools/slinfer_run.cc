@@ -59,6 +59,17 @@ usage(std::FILE *to)
         "  --sweep=<n>            shorthand for seeds base..base+n-1\n"
         "  --timeline=<file.json> scripted interventions overriding the\n"
         "                         scenario's own timeline\n"
+        "  --chaos=<spec>         stochastic fault processes overriding "
+        "the\n"
+        "                         scenario's own chaos config; enables "
+        "the\n"
+        "                         resilience report. Spec: ';'-separated\n"
+        "                         kind[:key=val,..] with kinds flap, "
+        "blast,\n"
+        "                         straggler, brownout and keys nodes, "
+        "mtbf,\n"
+        "                         mttr, at, for, factor (see "
+        "docs/DESIGN.md)\n"
         "  --windows=<n>          per-window TTFT/throughput rows\n"
         "  --counters             flight-recorder counters in the "
         "report\n"
@@ -189,6 +200,8 @@ main(int argc, char **argv)
     std::string out_path;
     std::vector<std::uint64_t> seeds;
     std::string timeline_path;
+    std::string chaos_spec;
+    bool chaos_set = false;
     int windows = 0;
     int sweep = 0;
     bool list = false;
@@ -240,6 +253,9 @@ main(int argc, char **argv)
             sweep = static_cast<int>(n);
         } else if (arg.rfind("--timeline=", 0) == 0) {
             timeline_path = value();
+        } else if (arg.rfind("--chaos=", 0) == 0) {
+            chaos_spec = value();
+            chaos_set = true;
         } else if (arg.rfind("--windows=", 0) == 0) {
             std::uint64_t n = parseCount(value(), "--windows");
             if (n == 0 || n > 10000) {
@@ -354,6 +370,15 @@ main(int argc, char **argv)
         timeline_set = true;
     }
 
+    chaos::ChaosConfig chaos_cfg;
+    if (chaos_set && !chaos_spec.empty()) {
+        std::string err;
+        if (!chaos::parseChaosSpec(chaos_spec, chaos_cfg, &err)) {
+            std::fprintf(stderr, "--chaos: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
     std::vector<Report> reports;
     for (const scenario::Scenario *sc : scs) {
         std::vector<std::uint64_t> sc_seeds = seeds;
@@ -367,6 +392,13 @@ main(int argc, char **argv)
             ExperimentConfig cfg = sc->toExperiment(system, s);
             if (timeline_set)
                 cfg.timeline = timeline;
+            if (chaos_set) {
+                // Like --timeline: the flag replaces the scenario's
+                // own chaos config ("--chaos=" strips it), and a
+                // chaos-enabled run always reports resilience.
+                cfg.chaos = chaos_cfg;
+                cfg.resilienceReport = chaos_cfg.enabled();
+            }
             cfg.windows = windows;
             cfg.obs.counters = counters;
             cfg.obs.anatomy = explain;
@@ -448,6 +480,8 @@ main(int argc, char **argv)
             // machine-readable report stream.
             if (explain && !quiet)
                 std::fputs(renderAttribution(report).c_str(), stderr);
+            if (report.resilience.enabled && !quiet)
+                std::fputs(renderResilience(report).c_str(), stderr);
             reports.push_back(std::move(report));
         }
     }
@@ -476,6 +510,15 @@ main(int argc, char **argv)
             os << "\n" << reportAttributionCsvHeader() << "\n";
             for (const Report &r : reports)
                 os << toAttributionCsvRows(r);
+        }
+        // And probed (chaos) runs append the resilience table.
+        bool any_resilience = false;
+        for (const Report &r : reports)
+            any_resilience = any_resilience || r.resilience.enabled;
+        if (any_resilience) {
+            os << "\n" << reportResilienceCsvHeader() << "\n";
+            for (const Report &r : reports)
+                os << toResilienceCsvRows(r);
         }
     } else if (reports.size() == 1) {
         os << toJson(reports[0]) << "\n";
