@@ -1,0 +1,231 @@
+/**
+ * @file
+ * FlatHashMap vs the std::map tables it replaced (DESIGN.md, "Flat
+ * hash tables"): insert and lookup throughput on the key shapes the
+ * simulator actually probes — short model/hardware name strings and
+ * (hardware, model) string pairs.
+ *
+ * Three table shapes, each measured for build and for hit/miss probes:
+ *
+ *  1. string -> int   (model-preset resolution, sweep hash dedup)
+ *  2. (string, string) -> int  (quantifier profile lookup), probed
+ *     heterogeneously with string_views — the std::map side pays the
+ *     temporary pair<string,string> construction the flat table's
+ *     transparent functors avoid, because that is exactly the
+ *     comparison that motivated the swap.
+ *
+ * Pure micro-bench: human table only, no baseline gate — the measured
+ * numbers are recorded in DESIGN.md next to the design rationale.
+ *   --keys=<n> --repeat=<r> --probes=<n>
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.hh"
+#include "common/table.hh"
+
+using namespace slinfer;
+
+namespace
+{
+
+double
+wallSeconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Deterministic short keys in the repo's naming shape. */
+std::vector<std::string>
+makeKeys(std::size_t n, const char *stem)
+{
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back(std::string(stem) + "-" + std::to_string(i * 7919));
+    return keys;
+}
+
+struct Timings
+{
+    double build = 0.0; ///< inserts/sec
+    double hit = 0.0;   ///< present-key probes/sec
+    double miss = 0.0;  ///< absent-key probes/sec
+};
+
+template <typename BuildFn, typename ProbeFn>
+Timings
+measure(int repeat, std::size_t keys, std::size_t probes,
+        BuildFn &&build, ProbeFn &&probe)
+{
+    Timings best;
+    for (int r = 0; r < repeat; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto table = build();
+        double w = wallSeconds(t0);
+        if (w > 0)
+            best.build = std::max(best.build, keys / w);
+
+        t0 = std::chrono::steady_clock::now();
+        std::size_t hits = probe(table, /*present=*/true);
+        w = wallSeconds(t0);
+        if (hits != probes)
+            fatal("bench_flat_hash: hit probe missed");
+        if (w > 0)
+            best.hit = std::max(best.hit, probes / w);
+
+        t0 = std::chrono::steady_clock::now();
+        std::size_t misses = probe(table, /*present=*/false);
+        w = wallSeconds(t0);
+        if (misses != 0)
+            fatal("bench_flat_hash: miss probe hit");
+        if (w > 0)
+            best.miss = std::max(best.miss, probes / w);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t nkeys = 10000;
+    std::size_t probes = 2000000;
+    int repeat = 3;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg.rfind("--keys=", 0) == 0) {
+            nkeys = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--probes=", 0) == 0) {
+            probes = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--repeat=", 0) == 0) {
+            repeat = std::atoi(value().c_str());
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (nkeys == 0 || probes == 0 || repeat <= 0) {
+        std::fprintf(stderr, "--keys/--probes/--repeat must be positive\n");
+        return 2;
+    }
+
+    std::vector<std::string> keys = makeKeys(nkeys, "model");
+    std::vector<std::string> absent = makeKeys(nkeys, "absent");
+
+    // ---- shape 1: string -> int -------------------------------------
+    auto probeString = [&](auto &table, bool present) {
+        std::size_t found = 0;
+        const std::vector<std::string> &pool = present ? keys : absent;
+        for (std::size_t i = 0; i < probes; ++i) {
+            const std::string &k = pool[(i * 131) % pool.size()];
+            if constexpr (std::is_same_v<
+                              std::decay_t<decltype(table)>,
+                              std::map<std::string, int>>) {
+                found += table.find(k) != table.end();
+            } else {
+                found += table.find(std::string_view(k)) != nullptr;
+            }
+        }
+        return found ? probes : 0; // normalize: all-hit or all-miss
+    };
+    Timings flat_s = measure(
+        repeat, nkeys, probes,
+        [&] {
+            FlatHashMap<std::string, int> m;
+            for (std::size_t i = 0; i < nkeys; ++i)
+                m.emplace(keys[i], static_cast<int>(i));
+            return m;
+        },
+        probeString);
+    Timings map_s = measure(
+        repeat, nkeys, probes,
+        [&] {
+            std::map<std::string, int> m;
+            for (std::size_t i = 0; i < nkeys; ++i)
+                m.emplace(keys[i], static_cast<int>(i));
+            return m;
+        },
+        probeString);
+
+    // ---- shape 2: (string, string) -> int, heterogeneous probe ------
+    std::vector<std::string> hw = makeKeys(64, "hw");
+    auto pairKey = [&](std::size_t i) {
+        return std::make_pair(hw[i % hw.size()], keys[i % nkeys]);
+    };
+    std::size_t npairs = nkeys;
+    auto probePair = [&](auto &table, bool present) {
+        std::size_t found = 0;
+        for (std::size_t i = 0; i < probes; ++i) {
+            std::size_t j = (i * 131) % npairs;
+            const std::string &a = hw[j % hw.size()];
+            const std::string &b =
+                present ? keys[j % nkeys] : absent[j % nkeys];
+            if constexpr (std::is_same_v<
+                              std::decay_t<decltype(table)>,
+                              std::map<std::pair<std::string, std::string>,
+                                       int>>) {
+                // The pre-swap shape: probing allocates the temporary
+                // pair of owned strings std::map::find demands.
+                found += table.find(std::make_pair(a, b)) != table.end();
+            } else {
+                found += table.find(std::make_pair(
+                             std::string_view(a), std::string_view(b))) !=
+                         nullptr;
+            }
+        }
+        return found ? probes : 0;
+    };
+    Timings flat_p = measure(
+        repeat, npairs, probes,
+        [&] {
+            FlatHashMap<std::pair<std::string, std::string>, int,
+                        FlatStringPairHash, FlatStringPairEq>
+                m;
+            for (std::size_t i = 0; i < npairs; ++i)
+                m.emplace(pairKey(i), static_cast<int>(i));
+            return m;
+        },
+        probePair);
+    Timings map_p = measure(
+        repeat, npairs, probes,
+        [&] {
+            std::map<std::pair<std::string, std::string>, int> m;
+            for (std::size_t i = 0; i < npairs; ++i)
+                m.emplace(pairKey(i), static_cast<int>(i));
+            return m;
+        },
+        probePair);
+
+    Table t({"table shape", "op", "flat M/s", "std::map M/s", "speedup"});
+    auto row = [&t](const char *shape, const char *op, double f,
+                    double m) {
+        t.addRow({shape, op, Table::num(f / 1e6, 1),
+                  Table::num(m / 1e6, 1),
+                  Table::num(m > 0 ? f / m : 0.0, 2) + "x"});
+    };
+    row("string->int", "build", flat_s.build, map_s.build);
+    row("string->int", "find hit", flat_s.hit, map_s.hit);
+    row("string->int", "find miss", flat_s.miss, map_s.miss);
+    row("(string,string)->int", "build", flat_p.build, map_p.build);
+    row("(string,string)->int", "find hit", flat_p.hit, map_p.hit);
+    row("(string,string)->int", "find miss", flat_p.miss, map_p.miss);
+    std::printf("flat hash vs std::map (%zu keys, %zu probes, best of "
+                "%d)\n",
+                nkeys, probes, repeat);
+    t.print();
+    return 0;
+}

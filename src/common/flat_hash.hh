@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Open-addressing hash map for the hot lookup tables (Skarupke
+ * flat_hash_map idiom, acknowledged in Moruga — see SNIPPETS.md).
+ *
+ * The std::map-based tables this replaces (quantifier profile lookup,
+ * sweep config-hash dedup, model-preset resolution) are node-based:
+ * every probe chases red-black pointers through cold cache lines and
+ * every insert allocates. This map keeps keys and values in one flat
+ * power-of-two array probed linearly with robin-hood displacement, so
+ * the common hit costs one hash plus a short contiguous scan.
+ *
+ * Scope is deliberately the subset those tables need:
+ *
+ *  - insert-or-find and heterogeneous lookup (probe a
+ *    `<string, string>`-keyed table with `string_view`s, no temporary
+ *    key allocation) — both transparent via the Hash/Eq functors;
+ *  - no erase. None of the swapped tables ever removes an entry, and
+ *    dropping deletion removes the tombstone/backward-shift machinery
+ *    entirely;
+ *  - values are stored in the slot array and move on rehash: a table
+ *    whose consumers cache value *pointers* across inserts (the
+ *    quantifier's MRU memo, the sweep store's find()) must store
+ *    `std::unique_ptr<V>` values, which keeps the pointee stable.
+ *
+ * The micro-benchmark backing the swap lives in
+ * bench/bench_flat_hash.cc; DESIGN.md ("Flat hash tables") records the
+ * measured numbers.
+ */
+
+#ifndef SLINFER_COMMON_FLAT_HASH_HH
+#define SLINFER_COMMON_FLAT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace slinfer
+{
+
+/** FNV-1a over bytes, finished with a splitmix-style avalanche so
+ *  power-of-two masking sees well-mixed low bits. */
+inline std::uint64_t
+flatHashBytes(const void *data, std::size_t n,
+              std::uint64_t seed = 0xcbf29ce484222325ull)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+}
+
+/** Transparent string hasher: std::string keys, string_view probes. */
+struct FlatStringHash
+{
+    using is_transparent = void;
+    std::uint64_t
+    operator()(std::string_view s) const
+    {
+        return flatHashBytes(s.data(), s.size());
+    }
+};
+
+struct FlatStringEq
+{
+    using is_transparent = void;
+    bool
+    operator()(std::string_view a, std::string_view b) const
+    {
+        return a == b;
+    }
+};
+
+/** Transparent hasher for (string, string) pairs — the quantifier's
+ *  (hardware name, model name) key, probed with string_views. */
+struct FlatStringPairHash
+{
+    using is_transparent = void;
+    template <typename P>
+    std::uint64_t
+    operator()(const P &p) const
+    {
+        std::string_view a(p.first), b(p.second);
+        return flatHashBytes(b.data(), b.size(),
+                             flatHashBytes(a.data(), a.size()));
+    }
+};
+
+struct FlatStringPairEq
+{
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool
+    operator()(const A &a, const B &b) const
+    {
+        return std::string_view(a.first) == std::string_view(b.first) &&
+               std::string_view(a.second) == std::string_view(b.second);
+    }
+};
+
+template <typename K, typename V, typename Hash = FlatStringHash,
+          typename Eq = FlatStringEq>
+class FlatHashMap
+{
+  public:
+    using value_type = std::pair<K, V>;
+
+    FlatHashMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        dist_.clear();
+        mask_ = 0;
+        size_ = 0;
+    }
+
+    /** Pre-size for `n` entries without rehashing on the way there. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = 16;
+        while (cap * 7 / 8 < n)
+            cap *= 2;
+        if (cap > slots_.size())
+            rehash(cap);
+    }
+
+    /**
+     * Insert (key, value) unless the key is present. Returns the
+     * value slot and whether an insert happened — the same contract
+     * as std::map::emplace, minus the iterator.
+     */
+    std::pair<V *, bool>
+    emplace(K key, V value)
+    {
+        if (V *v = find(key))
+            return {v, false};
+        if ((size_ + 1) * 8 > slots_.size() * 7)
+            rehash(slots_.size() ? slots_.size() * 2 : 16);
+        V *v = insertFresh(std::move(key), std::move(value));
+        ++size_;
+        return {v, true};
+    }
+
+    /** Lookup with any key type the Hash/Eq functors accept. */
+    template <typename Q>
+    V *
+    find(const Q &key)
+    {
+        return const_cast<V *>(
+            static_cast<const FlatHashMap *>(this)->find(key));
+    }
+
+    template <typename Q>
+    const V *
+    find(const Q &key) const
+    {
+        if (size_ == 0)
+            return nullptr;
+        std::size_t pos = hash_(key) & mask_;
+        for (std::int16_t d = 0;; ++d, pos = (pos + 1) & mask_) {
+            if (dist_[pos] < d)
+                return nullptr; // robin hood: the key would sit here
+            if (dist_[pos] == d && eq_(slots_[pos].first, key))
+                return &slots_[pos].second;
+        }
+    }
+
+    /** Visit every entry (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (dist_[i] >= 0)
+                fn(slots_[i].first, slots_[i].second);
+        }
+    }
+
+  private:
+    V *
+    insertFresh(K key, V value)
+    {
+        std::size_t pos = hash_(key) & mask_;
+        std::int16_t d = 0;
+        V *result = nullptr;
+        for (;; pos = (pos + 1) & mask_, ++d) {
+            if (d >= kMaxProbe)
+                fatal("FlatHashMap: probe sequence overflow "
+                      "(degenerate hash function)");
+            if (dist_[pos] < 0) {
+                slots_[pos] = value_type(std::move(key),
+                                         std::move(value));
+                dist_[pos] = d;
+                return result ? result : &slots_[pos].second;
+            }
+            if (dist_[pos] < d) {
+                // Displace the richer resident (robin hood) and keep
+                // walking with its entry. The caller's value slot is
+                // wherever the *original* pair landed.
+                std::swap(slots_[pos].first, key);
+                std::swap(slots_[pos].second, value);
+                std::swap(dist_[pos], d);
+                if (!result)
+                    result = &slots_[pos].second;
+            }
+        }
+    }
+
+    void
+    rehash(std::size_t cap)
+    {
+        std::vector<value_type> old = std::move(slots_);
+        std::vector<std::int16_t> oldDist = std::move(dist_);
+        slots_ = std::vector<value_type>(cap); // default-constructed,
+                                               // so V can be move-only
+        dist_.assign(cap, -1);
+        mask_ = cap - 1;
+        for (std::size_t i = 0; i < old.size(); ++i) {
+            if (oldDist[i] >= 0)
+                insertFresh(std::move(old[i].first),
+                            std::move(old[i].second));
+        }
+    }
+
+    static constexpr std::int16_t kMaxProbe = 4096;
+
+    std::vector<value_type> slots_;
+    /** Probe distance from the key's home slot; -1 = empty. */
+    std::vector<std::int16_t> dist_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    Hash hash_;
+    Eq eq_;
+};
+
+} // namespace slinfer
+
+#endif // SLINFER_COMMON_FLAT_HASH_HH

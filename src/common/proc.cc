@@ -1,0 +1,47 @@
+#include "common/proc.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace slinfer
+{
+
+std::size_t
+currentRssBytes()
+{
+#if defined(__linux__)
+    // /proc/self/statm field 2 is the resident page count.
+    if (std::FILE *f = std::fopen("/proc/self/statm", "r")) {
+        unsigned long size = 0, resident = 0;
+        int n = std::fscanf(f, "%lu %lu", &size, &resident);
+        std::fclose(f);
+        if (n == 2)
+            return static_cast<std::size_t>(resident) *
+                   static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+    }
+#endif
+    return peakRssBytes(); // coarse but monotone fallback
+}
+
+std::size_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return static_cast<std::size_t>(ru.ru_maxrss); // bytes
+#else
+        return static_cast<std::size_t>(ru.ru_maxrss) * 1024; // KiB
+#endif
+    }
+#endif
+    return 0;
+}
+
+} // namespace slinfer

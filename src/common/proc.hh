@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Process self-observation helpers: resident-set size for the
+ * streaming-replay progress line (`slinfer_run --progress`), the
+ * stream-throughput bench and the bounded-memory CI assertion.
+ *
+ * Linux reads /proc/self; other platforms degrade to getrusage where
+ * available and to 0 otherwise — callers treat 0 as "unknown".
+ */
+
+#ifndef SLINFER_COMMON_PROC_HH
+#define SLINFER_COMMON_PROC_HH
+
+#include <cstddef>
+
+namespace slinfer
+{
+
+/** Current resident set size in bytes (0 when unknown). */
+std::size_t currentRssBytes();
+
+/** Peak resident set size in bytes since process start (ru_maxrss /
+ *  VmHWM; 0 when unknown). */
+std::size_t peakRssBytes();
+
+} // namespace slinfer
+
+#endif // SLINFER_COMMON_PROC_HH

@@ -154,6 +154,9 @@ ControllerBase::dropRequest(Request *req)
     if (anat_)
         anat_->onDrop(*req, sim_.now());
     traceRequestEnd(req);
+    // Queued drops stay referenced by pending_ as ghosts until a retry
+    // round purges them; maybeReclaim fires only for unreferenced ones.
+    maybeReclaim(req);
 }
 
 void
@@ -389,8 +392,12 @@ ControllerBase::retireModel(ModelId model)
     auto &dq = pendingDecode_[model];
     decodePendingCount_ -= dq.size();
     for (auto &entry : dq) {
-        if (entry.second->state == RequestState::Transfer)
-            dropRequest(entry.second);
+        Request *req = entry.second;
+        --req->queueRefs; // leaving the decode queue for good
+        if (req->state == RequestState::Transfer)
+            dropRequest(req);
+        else
+            maybeReclaim(req); // settled ghost: last ref just left
     }
     dq.clear();
     drainInstanceSet(me.instances, true);
@@ -638,6 +645,7 @@ void
 ControllerBase::queueRequest(Request *req)
 {
     pending_.push_back(req);
+    ++req->queueRefs;
     if (trace_)
         trace_->asyncInstant(obs::kCatRequest,
                              requestStateName(req->state), sim_.now(),
@@ -662,6 +670,7 @@ void
 ControllerBase::queueDecode(Request *req)
 {
     pendingDecode_[req->model].push_back({decodeSeq_++, req});
+    ++req->queueRefs;
     ++decodePendingCount_;
     decodeDirty_[req->model] = 1;
 }
@@ -710,8 +719,13 @@ ControllerBase::retryPending()
         while (!pending_.empty() && failures < kMaxFailures) {
             Request *req = pending_.front();
             pending_.pop_front();
-            if (req->state != RequestState::Queued)
-                continue; // dropped or already admitted elsewhere
+            --req->queueRefs;
+            if (req->state != RequestState::Queued) {
+                // Dropped or already admitted elsewhere: purge the
+                // ghost (and recycle it if this was its last ref).
+                maybeReclaim(req);
+                continue;
+            }
             if (res.backoff && req->retryAfter > sim_.now()) {
                 // Parked under backoff: not charged as a failure (the
                 // wakeup armBackoff scheduled re-runs this round).
@@ -733,6 +747,7 @@ ControllerBase::retryPending()
         for (auto it = retryStill_.rbegin(); it != retryStill_.rend();
              ++it) {
             pending_.push_front(*it);
+            ++(*it)->queueRefs;
         }
 
         retryDecodePending();
@@ -809,10 +824,13 @@ ControllerBase::retryDecodePending()
         Request *req = entry.second;
         if (req->state != RequestState::Transfer) {
             --decodePendingCount_;
+            --req->queueRefs;
+            maybeReclaim(req); // settled ghost leaving for good
             continue;
         }
         if (tryDispatchDecode(req)) {
             --decodePendingCount_;
+            --req->queueRefs;
             admitted = true;
         } else {
             pendingDecode_[req->model].push_back(entry);
@@ -848,6 +866,7 @@ ControllerBase::requestDone(Request *req, Instance *inst)
     if (inst->loadSize() == 0 && inst->state == InstanceState::Active)
         scheduleKeepAlive(inst);
     retryPending();
+    maybeReclaim(req);
 }
 
 void

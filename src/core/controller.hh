@@ -25,6 +25,7 @@
 #define SLINFER_CORE_CONTROLLER_HH
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -131,6 +132,19 @@ class ControllerBase
 
     /** Nodes currently fenced by failNode (resilience probes). */
     int failedNodeCount() const { return failedNodes_; }
+
+    /**
+     * Streaming replay: invoked whenever a settled request (Completed
+     * or Dropped) has left every controller queue, so the Session's
+     * pool may recycle its storage. Unset (materialized runs, the
+     * default) the controller never reclaims and the maintenance cost
+     * is one null test per settle site. Set it before any event fires.
+     */
+    void
+    setReclaimHook(std::function<void(Request *)> hook)
+    {
+        reclaim_ = std::move(hook);
+    }
 
     /** Queued (pending dispatch) requests per model, including parked
      *  PD decode transfers — Session::sample's queue-depth view. */
@@ -268,6 +282,17 @@ class ControllerBase
     /** Sweep a captured instance set (redeploy/retire) to unload. */
     void drainInstanceSet(std::vector<Instance *> insts, bool drop);
     void requestDone(Request *req, Instance *inst);
+    /** Hand `req` to the reclaim hook iff it is settled (Completed or
+     *  Dropped) and no pending queue still references it. Call after
+     *  every site that settles a request or releases a queue ref. */
+    void
+    maybeReclaim(Request *req)
+    {
+        if (reclaim_ && req->queueRefs == 0 &&
+            (req->state == RequestState::Completed ||
+             req->state == RequestState::Dropped))
+            reclaim_(req);
+    }
     void evictLongestHeadroom(Instance *inst);
     bool takeAfterPrefill(Request *req, Instance *inst);
 
@@ -322,6 +347,9 @@ class ControllerBase
     std::vector<char> decodeDirty_;
     std::uint64_t decodeSeq_ = 0;
     std::size_t decodePendingCount_ = 0;
+
+    /** Request-storage reclaim hook (streaming replay; may be null). */
+    std::function<void(Request *)> reclaim_;
 
     /** Fleet-wide PD KV-transfer multiplier (NetBrownout). */
     double netFactor_ = 1.0;

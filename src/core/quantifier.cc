@@ -30,7 +30,11 @@ Quantifier::profile(const HardwareSpec &hw, const ModelSpec &m,
                 PerfModel::decodeTime(hw, m, t.batchGrid[bi], len));
         }
     }
-    ProfileTable &slot = tables_[std::make_pair(hw.name, m.name)];
+    auto [cell, inserted] =
+        tables_.emplace(std::make_pair(hw.name, m.name),
+                        std::make_unique<ProfileTable>());
+    (void)inserted; // a re-profile overwrites the existing table
+    ProfileTable &slot = **cell;
     slot = std::move(t);
     // A refresh must not leave a memo entry pointing at stale data
     // conceptually (the address is stable, but keep the semantics
@@ -48,15 +52,16 @@ Quantifier::find(const HardwareSpec &hw, const ModelSpec &m) const
         if (memo.table && memo.hw == hw.name && memo.model == m.name)
             return memo.table;
     }
-    auto it = tables_.find(std::make_pair(std::string_view(hw.name),
-                                          std::string_view(m.name)));
-    if (it == tables_.end())
+    const std::unique_ptr<ProfileTable> *cell =
+        tables_.find(std::make_pair(std::string_view(hw.name),
+                                    std::string_view(m.name)));
+    if (!cell)
         return nullptr;
     Memo &slot = memo_[memoNext_];
     memoNext_ = (memoNext_ + 1) % memo_.size();
     slot.hw = hw.name;
     slot.model = m.name;
-    slot.table = &it->second;
+    slot.table = cell->get();
     return slot.table;
 }
 

@@ -16,12 +16,13 @@
 #define SLINFER_CORE_QUANTIFIER_HH
 
 #include <array>
-#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.hh"
 #include "hw/perf_model.hh"
 
 namespace slinfer
@@ -63,28 +64,15 @@ class Quantifier
     };
 
     /**
-     * Transparent (hw name, model name) ordering so lookups probe with
-     * string_views — estimate queries run several times per placement
-     * candidate and per shadow-simulation step, and the previous
-     * string-concatenated key allocated on every single call.
+     * Flat (hw name, model name) → table map (common/flat_hash.hh),
+     * probed with string_views so estimate queries never allocate a
+     * key. Tables live behind unique_ptr so their addresses survive
+     * rehashes — the MRU memo below caches raw pointers.
      */
-    struct KeyLess
-    {
-        using is_transparent = void;
-        template <typename A, typename B>
-        bool
-        operator()(const A &a, const B &b) const
-        {
-            if (std::string_view(a.first) != std::string_view(b.first))
-                return std::string_view(a.first) <
-                       std::string_view(b.first);
-            return std::string_view(a.second) <
-                   std::string_view(b.second);
-        }
-    };
     using Tables =
-        std::map<std::pair<std::string, std::string>, ProfileTable,
-                 KeyLess>;
+        FlatHashMap<std::pair<std::string, std::string>,
+                    std::unique_ptr<ProfileTable>, FlatStringPairHash,
+                    FlatStringPairEq>;
 
     const ProfileTable &tableFor(const HardwareSpec &hw,
                                  const ModelSpec &m) const;
@@ -97,9 +85,10 @@ class Quantifier
      * Tiny MRU memo in front of the map: a fleet shares a handful of
      * (hardware, model) profile pairs, and consecutive queries (an
      * aggregate-decode walk over one partition, a shadow fast-forward)
-     * almost always repeat one. Table pointers are stable (node-based
-     * map, profiles are never erased), so memo entries stay valid
-     * across inserts; profile() refreshes any matching entry.
+     * almost always repeat one. Table pointers are stable (heap
+     * pointees behind the flat map's unique_ptr values, profiles are
+     * never erased), so memo entries stay valid across inserts;
+     * profile() refreshes any matching entry.
      */
     struct Memo
     {

@@ -51,6 +51,9 @@ requestStateName(RequestState s)
     return "?";
 }
 
+/** Request::poolSlot value for storage not owned by a replay pool. */
+inline constexpr std::uint32_t kRequestNotPooled = 0xFFFFFFFFu;
+
 struct Request
 {
     RequestId id = 0;
@@ -83,6 +86,15 @@ struct Request
      *  backoff; attempts before this park the request instead of
      *  charging a retry. <= now means "try immediately". */
     Seconds retryAfter = 0.0;
+    /** Live references from controller pending queues (pending_ /
+     *  pendingDecode_ entries, including ghost entries awaiting their
+     *  lazy purge). A settled request may only be recycled by the
+     *  streaming replay pool once this reaches zero. */
+    std::uint32_t queueRefs = 0;
+    /** kRequestNotPooled for materialized / injected requests; any
+     *  other value marks storage owned by the streaming replay pool
+     *  (eligible for recycling once settled and unreferenced). */
+    std::uint32_t poolSlot = 0xFFFFFFFFu;
 
     /** Absolute deadline of the next token (Eq. 1). */
     Seconds deadlineForNextToken() const;

@@ -46,16 +46,27 @@ ExperimentConfig::validate() const
         fatal("ExperimentConfig: no models configured");
     if (arrivals && !trace.arrivals.empty())
         fatal("ExperimentConfig: both `arrivals` and `trace` are set");
+    // `stream.tracePath` without `stream.enabled` is legal: the packed
+    // trace replayed through the classic materialized path — the
+    // byte-identity oracle the CI streaming smoke diffs against.
+    if (!stream.tracePath.empty() &&
+        (arrivals || !trace.arrivals.empty()))
+        fatal("ExperimentConfig: `stream.tracePath` is mutually "
+              "exclusive with `arrivals`/`trace`");
+    if (stream.enabled && stream.lookahead == 0)
+        fatal("ExperimentConfig: `stream.lookahead` must be positive");
 
     // The duration stamped by the arrival process / trace generator is
     // authoritative; an explicitly configured duration must agree.
+    // A .strc replay stamps its duration from the file header, which
+    // validate() cannot read — Session checks agreement after opening.
     Seconds stamped = arrivals ? arrivals->duration() : trace.duration;
     if (duration > 0 && stamped > 0 &&
         std::abs(duration - stamped) > 1e-9) {
         fatal("ExperimentConfig: `duration` disagrees with the trace "
               "duration; the trace/scenario is the source of truth");
     }
-    if (duration <= 0 && stamped <= 0)
+    if (duration <= 0 && stamped <= 0 && stream.tracePath.empty())
         fatal("ExperimentConfig: no duration configured");
 
     if (!datasetPerModel.empty() && datasetPerModel.size() != models.size())
@@ -78,7 +89,9 @@ ExperimentConfig::validate() const
         if (iv.at < 0)
             fatal("ExperimentConfig: timeline '" + name +
                   "' scheduled before t=0");
-        if (iv.at > horizon + 1e-9)
+        // horizon <= 0 only for .strc replay, whose duration is known
+        // after the file opens — dead events go unchecked there.
+        if (horizon > 0 && iv.at > horizon + 1e-9)
             fatal("ExperimentConfig: timeline '" + name + "' at t=" +
                   std::to_string(iv.at) +
                   " is scheduled past the experiment duration (" +
@@ -110,6 +123,10 @@ ExperimentConfig::validate() const
                       "`spec`");
             break;
           case Intervention::Kind::ArrivalScale:
+            if (stream.enabled)
+                fatal("ExperimentConfig: timeline 'arrival-scale' is "
+                      "unsupported in streaming mode (future arrivals "
+                      "are not enumerable)");
             if (iv.factor < 0)
                 fatal("ExperimentConfig: timeline 'arrival-scale' "
                       "needs a nonnegative `factor`");

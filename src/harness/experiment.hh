@@ -17,6 +17,7 @@
 #include "metrics/report.hh"
 #include "obs/config.hh"
 #include "scenario/arrival.hh"
+#include "stream/source.hh"
 #include "workload/azure_trace.hh"
 #include "workload/dataset.hh"
 
@@ -109,6 +110,17 @@ struct ExperimentConfig
     /** Lockstep control-plane period δ in seconds (grid anchored at
      *  t=0). Only read when simThreads >= 1. */
     Seconds simWindow = 0.05;
+    /**
+     * Streaming replay (stream/source.hh): pull arrivals incrementally
+     * through a bounded lookahead window and recycle settled request
+     * storage, instead of materializing the whole request vector up
+     * front. Reports stay byte-identical to the materialized run; peak
+     * memory becomes independent of trace length. `stream.tracePath`
+     * replays an on-disk `.strc` trace (mutually exclusive with
+     * `arrivals`/`trace`); ArrivalScale interventions are rejected in
+     * streaming mode (future arrivals are not enumerable).
+     */
+    stream::StreamConfig stream;
 
     /**
      * Check the configuration for conflicts before any state is

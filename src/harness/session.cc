@@ -14,7 +14,8 @@ namespace slinfer
 // --------------------------------------------------------------------
 
 Session::Session(const ExperimentConfig &cfg)
-    : cfg_(cfg), ivRng_(Rng(cfg.seed).fork(0xA11CE))
+    : cfg_(cfg), ivRng_(Rng(cfg.seed).fork(0xA11CE)),
+      lenRng_(Rng(cfg.seed).fork(0x1E46))
 {
     // Chaos expands into ordinary timeline entries *before* validation,
     // so generated schedules obey the same well-formedness rules as
@@ -27,6 +28,10 @@ Session::Session(const ExperimentConfig &cfg)
             cfg_.arrivals ? cfg_.arrivals->duration() : cfg_.trace.duration;
         if (cfg_.duration > 0)
             dur = cfg_.duration;
+        if (!cfg_.stream.tracePath.empty() && dur <= 0)
+            fatal("Session: chaos with a .strc replay needs an "
+                  "explicit `duration` (the file header is read after "
+                  "chaos expansion)");
         Timeline extra =
             chaos::generateChaosTimeline(cfg_.chaos, dur, cfg_.seed);
         cfg_.timeline.insert(cfg_.timeline.end(), extra.begin(),
@@ -49,14 +54,37 @@ Session::Session(const ExperimentConfig &cfg)
         sim_.setLockstep(lockstep_.get());
     }
 
-    // The legacy pre-materialized trace moves out of our config copy
-    // (nothing reads cfg_.trace after this) instead of being copied a
-    // second time and kept alive for the whole session.
-    AzureTrace trace = cfg_.arrivals ? cfg_.arrivals->generate(cfg_.seed)
-                                     : std::move(cfg_.trace);
-    duration_ = trace.duration;
-    if (cfg_.duration > 0)
-        duration_ = cfg_.duration; // agreement checked by validate()
+    // The arrival source. Generators remain inherently materialized
+    // (they produce a full AzureTrace; the vector source owns it and
+    // the pre-materialized cfg_.trace moves instead of being copied);
+    // a .strc replay reads chunk-at-a-time from disk, which is the
+    // fully bounded-memory path.
+    if (!cfg_.stream.tracePath.empty()) {
+        std::string err;
+        source_ = stream::makeStrcSource(cfg_.stream.tracePath, &err);
+        if (!source_)
+            fatal("Session: " + err);
+        duration_ = source_->duration();
+        if (cfg_.duration > 0) {
+            if (duration_ > 0 &&
+                std::abs(cfg_.duration - duration_) > 1e-9)
+                fatal("Session: `duration` disagrees with the .strc "
+                      "header duration; the trace is the source of "
+                      "truth");
+            duration_ = cfg_.duration;
+        }
+        if (duration_ <= 0)
+            fatal("Session: .strc replay with no duration (header "
+                  "unstamped and cfg.duration unset)");
+    } else {
+        AzureTrace trace = cfg_.arrivals
+                               ? cfg_.arrivals->generate(cfg_.seed)
+                               : std::move(cfg_.trace);
+        duration_ = trace.duration;
+        if (cfg_.duration > 0)
+            duration_ = cfg_.duration; // agreement checked by validate()
+        source_ = stream::makeVectorSource(std::move(trace));
+    }
 
     cluster_.nodes =
         buildCluster(cfg_.cluster, systemPartitions(cfg_.system));
@@ -77,22 +105,29 @@ Session::Session(const ExperimentConfig &cfg)
             datasets_.emplace_back(kind);
     }
 
-    // Materialize requests from the trace + dataset into one reserved
-    // block. The vector never grows afterwards, so &req stays stable
-    // for the arrival lambdas below, and the arena, recorder and
-    // request storage together make the steady-state run allocation-
-    // free per event.
-    Rng len_rng = Rng(cfg_.seed).fork(0x1E46);
-    requests_.reserve(trace.arrivals.size());
-    arrivalEvents_.reserve(trace.arrivals.size());
-    recorder_.reserve(trace.arrivals.size());
-    sim_.reserveEvents(trace.arrivals.size() + 1024);
-    for (const Arrival &a : trace.arrivals) {
-        if (a.model >= cfg_.models.size())
-            fatal("Session: trace references unknown model");
-        requests_.push_back(materializeRequest(a.model,
-                                               cfg_.models[a.model],
-                                               a.time, len_rng));
+    // Materialize requests from the source + dataset. Materialized
+    // mode drains the source into one reserved block up front: the
+    // vector never grows afterwards, so &req stays stable for the
+    // arrival lambdas below, and the arena, recorder and request
+    // storage together make the steady-state run allocation-free per
+    // event. Streaming mode defers to the feed: requests materialize
+    // lazily into a recycled pool, so the reserves scale with the
+    // lookahead window, not the trace — and degrade gracefully to
+    // chunked growth when the source cannot size itself (sizeHint 0,
+    // e.g. a torn .strc read by a scan).
+    const std::uint64_t hint = source_->sizeHint();
+    if (cfg_.stream.enabled) {
+        if (hint > 0)
+            recorder_.reserve(hint); // TTFT samples: 8 B / completion
+        sim_.reserveEvents(cfg_.stream.lookahead + 1024);
+    } else {
+        requests_.reserve(hint);
+        arrivalEvents_.reserve(hint);
+        recorder_.reserve(hint);
+        sim_.reserveEvents(hint + 1024);
+        stream::TraceRecord rec;
+        while (source_->next(rec))
+            requests_.push_back(buildRequest(rec));
     }
 
     std::vector<double> avg_out(cfg_.models.size());
@@ -108,9 +143,29 @@ Session::Session(const ExperimentConfig &cfg)
     if (obs_)
         controller_->attachObs(obs_.get());
 
-    for (Request &req : requests_) {
-        arrivalEvents_.push_back(sim_.scheduleAt(
-            req.arrival, [this, &req] { controller_->submit(&req); }));
+    // Arrival scheduling. The streaming feed reserves its seq band at
+    // exactly this construction point, so trace arrival k carries the
+    // same tie-breaking sequence number in both modes (the
+    // byte-identity contract; see stream/feed.hh).
+    if (cfg_.stream.enabled) {
+        controller_->setReclaimHook([this](Request *r) {
+            if (r->poolSlot != kRequestNotPooled)
+                freeList_.push_back(r);
+        });
+        feed_ = std::make_unique<stream::StreamingArrivalFeed>(
+            sim_, *source_, cfg_.stream.lookahead,
+            [this](const stream::TraceRecord &rec) {
+                return acquirePooled(rec);
+            },
+            [this](Request *r) { controller_->submit(r); },
+            [this](Request *r) { freeList_.push_back(r); });
+        feed_->start();
+    } else {
+        for (Request &req : requests_) {
+            arrivalEvents_.push_back(sim_.scheduleAt(
+                req.arrival,
+                [this, &req] { controller_->submit(&req); }));
+        }
     }
 
     // Periodically sample KV utilization while the run is live
@@ -144,20 +199,57 @@ Session::create(const ExperimentConfig &cfg)
 }
 
 Request
-Session::materializeRequest(ModelId model, const ModelSpec &spec,
-                            Seconds at, Rng &lenRng)
+Session::fillRequest(ModelId model, const ModelSpec &spec, Seconds at,
+                     Tokens input, Tokens output)
 {
-    LengthSample len = datasets_[model].sample(lenRng);
     Request req;
     req.id = nextId_++;
     req.model = model;
     req.arrival = at;
-    req.inputLen = std::clamp<Tokens>(len.input, 1, spec.maxContext - 64);
+    req.inputLen = std::clamp<Tokens>(input, 1, spec.maxContext - 64);
     req.targetOutput = std::clamp<Tokens>(
-        len.output, 1, spec.maxContext - req.inputLen - 1);
+        output, 1, spec.maxContext - req.inputLen - 1);
     req.ttftSlo = cfg_.controller.slo.ttft(req.inputLen);
     req.tpotSlo = cfg_.controller.slo.tpot;
     return req;
+}
+
+Request
+Session::materializeRequest(ModelId model, const ModelSpec &spec,
+                            Seconds at, Rng &lenRng)
+{
+    LengthSample len = datasets_[model].sample(lenRng);
+    return fillRequest(model, spec, at, len.input, len.output);
+}
+
+Request
+Session::buildRequest(const stream::TraceRecord &rec)
+{
+    if (rec.model >= cfg_.models.size())
+        fatal("Session: trace references unknown model");
+    const ModelSpec &spec = cfg_.models[rec.model];
+    if (source_->hasLengths())
+        return fillRequest(rec.model, spec, rec.time,
+                           static_cast<Tokens>(rec.inputLen),
+                           static_cast<Tokens>(rec.targetOutput));
+    return materializeRequest(rec.model, spec, rec.time, lenRng_);
+}
+
+Request *
+Session::acquirePooled(const stream::TraceRecord &rec)
+{
+    Request *r;
+    if (!freeList_.empty()) {
+        r = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        pool_.emplace_back();
+        r = &pool_.back();
+    }
+    *r = buildRequest(rec); // full reset: ids/refs never leak across
+                            // pool generations
+    r->poolSlot = 0; // pool-owned: the reclaim hook recycles it
+    return r;
 }
 
 void
@@ -449,6 +541,10 @@ Session::addExtraArrival(ModelId model, Seconds t)
 void
 Session::cancelFutureArrivals(ModelId model)
 {
+    // Streaming: the feed cancels its window entries and recycles
+    // future records of the model at pump time (requests_ is empty).
+    if (feed_)
+        feed_->retireModel(model);
     // pending() is definitive: fired and already-cancelled arrivals
     // are skipped, everything still scheduled is revoked.
     for (std::size_t i = 0; i < requests_.size(); ++i) {
@@ -464,6 +560,12 @@ Session::cancelFutureArrivals(ModelId model)
 void
 Session::scaleArrivals(double factor, int modelFilter)
 {
+    // Thinning/cloning needs the full future arrival set, which a
+    // streaming run never holds. validate() rejects timeline entries;
+    // this guards manual inject() calls.
+    if (feed_)
+        fatal("Session: arrival-scale is unsupported in streaming "
+              "mode (future arrivals are not enumerable)");
     if (factor == 1.0)
         return;
     // Snapshot the injected-arrival count: clones appended during the

@@ -37,6 +37,7 @@
 #include "harness/experiment.hh"
 #include "obs/obs.hh"
 #include "sim/lockstep.hh"
+#include "stream/feed.hh"
 
 namespace slinfer
 {
@@ -131,10 +132,29 @@ class Session
         return obs_.get();
     }
 
+    /** The streaming arrival feed, or nullptr in materialized mode
+     *  (progress reporting / tests). */
+    const stream::StreamingArrivalFeed *feed() const
+    {
+        return feed_.get();
+    }
+    /** High-water count of pooled Request objects ever materialized in
+     *  streaming mode — the bounded-memory assertion's subject. */
+    std::size_t streamPoolSize() const { return pool_.size(); }
+
   private:
     void applyIntervention(const Intervention &iv);
+    /** Stamp ids/SLOs and clamp lengths — the shared tail of request
+     *  construction. */
+    Request fillRequest(ModelId model, const ModelSpec &spec, Seconds at,
+                        Tokens input, Tokens output);
     Request materializeRequest(ModelId model, const ModelSpec &spec,
                                Seconds at, Rng &lenRng);
+    /** Build the request for one source record: recorded lengths when
+     *  the source carries them, dataset samples (lenRng_) otherwise. */
+    Request buildRequest(const stream::TraceRecord &rec);
+    /** Streaming: materialize `rec` into pooled (recyclable) storage. */
+    Request *acquirePooled(const stream::TraceRecord &rec);
     /** Materialize + schedule an injected arrival at time `t`. */
     void addExtraArrival(ModelId model, Seconds t);
     ModelId checkedModel(const Intervention &iv) const;
@@ -172,6 +192,20 @@ class Session
      *  entries never move. */
     std::deque<Request> extra_;
     std::deque<EventHandle> extraEvents_;
+
+    /** Arrival source (both modes; the materialized path drains it up
+     *  front, the feed pulls from it incrementally). */
+    stream::RequestSourcePtr source_;
+    /** Bounded-lookahead feed (null in materialized mode). */
+    std::unique_ptr<stream::StreamingArrivalFeed> feed_;
+    /** Streaming request pool: storage never moves (deque) and is
+     *  recycled through freeList_ once the controller reclaims a
+     *  settled request. Bounded by lookahead + in-flight. */
+    std::deque<Request> pool_;
+    std::vector<Request *> freeList_;
+    /** Dataset length RNG, consumed in strict trace order by both
+     *  replay modes (the byte-identity contract). */
+    Rng lenRng_;
 
     std::unique_ptr<ControllerBase> controller_;
     /** Intervention randomness (thinning, clones, burst gaps), forked

@@ -1,5 +1,6 @@
 #include "hw/model_spec.hh"
 
+#include "common/flat_hash.hh"
 #include "common/log.hh"
 
 namespace slinfer
@@ -140,25 +141,29 @@ quantized(ModelSpec base, int bits)
 bool
 tryModelPreset(const std::string &name, ModelSpec &out)
 {
-    struct Preset
-    {
-        const char *slug;
-        ModelSpec (*make)();
-    };
-    static const Preset presets[] = {
-        {"llama32-3b", llama32_3b},   {"llama2-7b", llama2_7b},
-        {"llama31-8b", llama31_8b},   {"llama2-13b", llama2_13b},
-        {"codestral-22b", codestral_22b},
-        {"codellama-34b", codellama_34b},
-    };
-    for (const Preset &p : presets) {
-        ModelSpec spec = p.make();
-        if (name == p.slug || name == spec.name) {
-            out = std::move(spec);
-            return true;
+    using MakeFn = ModelSpec (*)();
+    // Registered once under both the CLI slug and the spec's display
+    // name; every later resolution is one flat-map probe instead of a
+    // linear scan that re-built all six specs per call.
+    static const FlatHashMap<std::string, MakeFn> registry = [] {
+        constexpr std::pair<const char *, MakeFn> presets[] = {
+            {"llama32-3b", llama32_3b},   {"llama2-7b", llama2_7b},
+            {"llama31-8b", llama31_8b},   {"llama2-13b", llama2_13b},
+            {"codestral-22b", codestral_22b},
+            {"codellama-34b", codellama_34b},
+        };
+        FlatHashMap<std::string, MakeFn> reg;
+        for (const auto &[slug, make] : presets) {
+            reg.emplace(slug, make);
+            reg.emplace(make().name, make);
         }
-    }
-    return false;
+        return reg;
+    }();
+    const MakeFn *make = registry.find(std::string_view(name));
+    if (!make)
+        return false;
+    out = (*make)();
+    return true;
 }
 
 const char *

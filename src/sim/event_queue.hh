@@ -303,6 +303,39 @@ class EventQueue
         return EventHandle(this, slot, gen);
     }
 
+    /**
+     * Reserve a contiguous band of `width` sequence numbers and return
+     * its base. Later schedule() calls draw from *after* the band, so
+     * entries placed into it via scheduleAtSeq() tie-break exactly as
+     * if they had all been scheduled here — the streaming replay path
+     * (stream/feed.hh) reserves one band where the materialized path
+     * bulk-schedules its arrivals, then fills it lazily, keeping the
+     * global (when, seq) fire order byte-identical.
+     */
+    std::uint64_t
+    reserveSeqBand(std::uint64_t width)
+    {
+        std::uint64_t base = nextSeq_;
+        nextSeq_ += width;
+        return base;
+    }
+
+    /** Schedule `cb` at `when` with an explicit sequence number from a
+     *  previously reserved band (never a fresh nextSeq_). The caller
+     *  owns band discipline: seqs must be unique and, per equal
+     *  timestamp, assigned in the intended fire order. */
+    template <typename F>
+    EventHandle
+    scheduleAtSeq(Seconds when, std::uint64_t seq, F &&cb)
+    {
+        std::uint32_t slot = allocSlot();
+        cbs_[slot].set(std::forward<F>(cb));
+        std::uint32_t gen = meta_[slot].gen;
+        place(Entry{when, seq, slot, gen});
+        ++live_;
+        return EventHandle(this, slot, gen);
+    }
+
     /** True if no live events remain. O(1): tombstones are counted,
      *  not swept, so this never touches the heap or the arena. */
     bool empty() const { return live_ == 0; }

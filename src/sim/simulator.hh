@@ -49,6 +49,25 @@ class Simulator
         return queue_.schedule(when, std::forward<F>(cb));
     }
 
+    /** Reserve a band of sequence numbers for scheduleAtSeq (see
+     *  EventQueue::reserveSeqBand — streaming arrival replay). */
+    std::uint64_t
+    reserveSeqBand(std::uint64_t width)
+    {
+        return queue_.reserveSeqBand(width);
+    }
+
+    /** Schedule `cb` at absolute time `when` (>= now) with an explicit
+     *  sequence number from a reserved band. */
+    template <typename F>
+    EventHandle
+    scheduleAtSeq(Seconds when, std::uint64_t seq, F &&cb)
+    {
+        if (when < now_)
+            panic("Simulator::scheduleAtSeq in the past");
+        return queue_.scheduleAtSeq(when, seq, std::forward<F>(cb));
+    }
+
     /** Run until the queue drains. Returns the final time. In
      *  lockstep mode, the attached engine drives the loop instead. */
     Seconds run();

@@ -1,0 +1,97 @@
+#include "stream/source.hh"
+
+namespace slinfer
+{
+namespace stream
+{
+
+namespace
+{
+
+class VectorSource final : public RequestSource
+{
+  public:
+    explicit VectorSource(AzureTrace trace) : trace_(std::move(trace))
+    {
+    }
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= trace_.arrivals.size())
+            return false;
+        const Arrival &a = trace_.arrivals[pos_++];
+        rec = TraceRecord{};
+        rec.time = a.time;
+        rec.model = a.model;
+        return true;
+    }
+
+    Seconds duration() const override { return trace_.duration; }
+    bool hasLengths() const override { return false; }
+    std::uint64_t
+    sizeHint() const override
+    {
+        return trace_.arrivals.size();
+    }
+
+  private:
+    AzureTrace trace_;
+    std::size_t pos_ = 0;
+};
+
+class StrcSource final : public RequestSource
+{
+  public:
+    explicit StrcSource(std::unique_ptr<StrcReader> reader)
+        : reader_(std::move(reader))
+    {
+    }
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        return reader_->next(rec);
+    }
+
+    Seconds
+    duration() const override
+    {
+        return reader_->header().duration;
+    }
+
+    bool
+    hasLengths() const override
+    {
+        return reader_->header().hasLengths;
+    }
+
+    std::uint64_t
+    sizeHint() const override
+    {
+        return reader_->recordCount();
+    }
+
+  private:
+    std::unique_ptr<StrcReader> reader_;
+};
+
+} // namespace
+
+RequestSourcePtr
+makeVectorSource(AzureTrace trace)
+{
+    return std::make_unique<VectorSource>(std::move(trace));
+}
+
+RequestSourcePtr
+makeStrcSource(const std::string &path, std::string *err)
+{
+    auto reader = std::make_unique<StrcReader>();
+    if (!reader->open(path, err))
+        return nullptr;
+    return std::make_unique<StrcSource>(std::move(reader));
+}
+
+} // namespace stream
+} // namespace slinfer

@@ -180,61 +180,106 @@ ResultStore::parseRecordLine(const std::string &line, JobSpec &job,
     return true;
 }
 
+std::vector<std::string>
+ResultStore::loadLines(const std::string &content, bool dropTorn)
+{
+    std::vector<std::string> valid_lines;
+    std::string line;
+    int lineno = 0;
+    // `complete` distinguishes a newline-terminated record from a
+    // final line torn by a mid-append crash: the torn line is the
+    // expected interrupt artifact (drop it; the job re-runs), but a
+    // complete record that fails to parse means real corruption and
+    // should be inspected, not silently recomputed.
+    auto flush_line = [&](bool complete) {
+        if (line.empty())
+            return;
+        ++lineno;
+        JobSpec job;
+        Report report;
+        std::string err;
+        if (!parseRecordLine(line, job, report, &err)) {
+            if (!complete && dropTorn) {
+                logf(LogLevel::Warn, "result store ", path_,
+                     ": dropping torn final record (interrupted "
+                     "write); the job will re-run");
+            } else {
+                fatal("result store " + path_ + " line " +
+                      std::to_string(lineno) + ": " + err);
+            }
+        } else {
+            byHash_.emplace(job.hash(),
+                            std::make_unique<Report>(std::move(report)));
+            valid_lines.push_back(line);
+        }
+        line.clear();
+    };
+    for (char c : content) {
+        if (c == '\n')
+            flush_line(true);
+        else
+            line += c;
+    }
+    flush_line(false);
+    return valid_lines;
+}
+
 ResultStore::ResultStore(const std::string &path) : path_(path)
 {
     if (path_.empty())
         return;
+    compressed_ = path_.size() >= 5 &&
+                  path_.compare(path_.size() - 5, 5, ".strz") == 0;
 
     // Load whatever a previous (possibly interrupted) sweep persisted.
+    std::string err;
+    if (compressed_) {
+        std::string content;
+        bool torn = false;
+        if (!stream::strzReadAll(path_, content, &err, &torn))
+            fatal("result store " + path_ + ": " + err);
+        // Chunk CRCs already vouch for the content, so any parse
+        // failure in it is real corruption — no torn-line tolerance.
+        std::vector<std::string> valid_lines =
+            loadLines(content, /*dropTorn=*/false);
+        loaded_ = byHash_.size();
+        if (torn) {
+            logf(LogLevel::Warn, "result store ", path_, ": dropping "
+                 "torn tail chunk (interrupted write); the affected "
+                 "job will re-run");
+            // The torn bytes must come off disk before appending.
+            stream::StrzWriter rw;
+            if (!rw.open(path_, /*truncate=*/true, &err))
+                fatal("result store: cannot rewrite " + path_ + ": " +
+                      err);
+            std::string batch;
+            for (const std::string &l : valid_lines)
+                batch += l + "\n";
+            if (!batch.empty() && !rw.appendBlock(batch, &err))
+                fatal("result store: cannot rewrite " + path_ + ": " +
+                      err);
+        }
+        if (!zwriter_.open(path_, /*truncate=*/false, &err))
+            fatal("result store: cannot open " + path_ +
+                  " for append: " + err);
+        return;
+    }
+
     bool needs_rewrite = false;
     std::vector<std::string> valid_lines;
     if (std::FILE *in = std::fopen(path_.c_str(), "r")) {
-        std::string line;
+        std::string content;
         int c;
-        int last_char = '\n';
-        int lineno = 0;
-        // `complete` distinguishes a newline-terminated record from a
-        // final line torn by a mid-append crash: the torn line is the
-        // expected interrupt artifact (drop it; the job re-runs), but
-        // a complete record that fails to parse means real corruption
-        // and should be inspected, not silently recomputed.
-        auto flush_line = [&](bool complete) {
-            if (line.empty())
-                return;
-            ++lineno;
-            JobSpec job;
-            Report report;
-            std::string err;
-            if (!parseRecordLine(line, job, report, &err)) {
-                if (!complete) {
-                    logf(LogLevel::Warn, "result store ", path_,
-                         ": dropping torn final record (interrupted "
-                         "write); the job will re-run");
-                } else {
-                    fatal("result store " + path_ + " line " +
-                          std::to_string(lineno) + ": " + err);
-                }
-            } else {
-                byHash_.emplace(job.hash(), std::move(report));
-                valid_lines.push_back(line);
-            }
-            line.clear();
-        };
-        while ((c = std::fgetc(in)) != EOF) {
-            if (c == '\n')
-                flush_line(true);
-            else
-                line += static_cast<char>(c);
-            last_char = c;
-        }
-        flush_line(false);
+        while ((c = std::fgetc(in)) != EOF)
+            content += static_cast<char>(c);
         std::fclose(in);
+        valid_lines = loadLines(content, /*dropTorn=*/true);
         loaded_ = byHash_.size();
         // Any unterminated tail — torn mid-record (dropped above) or a
         // record that parsed but lost its newline — must come off the
         // file, or the next append concatenates onto it and corrupts a
         // line.
-        needs_rewrite = last_char != '\n';
+        needs_rewrite = !content.empty() && content.back() != '\n';
     }
 
     if (needs_rewrite) {
@@ -255,24 +300,32 @@ ResultStore::~ResultStore()
 {
     if (file_)
         std::fclose(file_);
+    zwriter_.close();
 }
 
 const Report *
 ResultStore::find(const std::string &hash) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = byHash_.find(hash);
-    return it == byHash_.end() ? nullptr : &it->second;
+    const std::unique_ptr<Report> *p =
+        byHash_.find(std::string_view(hash));
+    return p ? p->get() : nullptr;
 }
 
 void
 ResultStore::append(const JobSpec &job, const Report &report)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    byHash_.emplace(job.hash(), report);
-    if (!file_)
+    byHash_.emplace(job.hash(), std::make_unique<Report>(report));
+    if (path_.empty())
         return;
     std::string line = recordLine(job, report);
+    if (compressed_) {
+        std::string err;
+        if (!zwriter_.appendBlock(line + "\n", &err))
+            fatal("result store " + path_ + ": " + err);
+        return;
+    }
     std::fprintf(file_, "%s\n", line.c_str());
     std::fflush(file_);
 }
@@ -290,13 +343,43 @@ ResultStore::compact(const std::vector<Record> &ordered)
     std::set<std::string> ours;
     for (const Record &rec : ordered)
         ours.insert(rec.job.hash());
-    for (const auto &[hash, report] : byHash_) {
-        if (!ours.count(hash)) {
-            logf(LogLevel::Info, "result store ", path_, ": holds "
-                 "records outside this grid; skipping grid-order "
-                 "compaction");
-            return;
+    bool foreign = false;
+    byHash_.forEach([&](const std::string &hash,
+                        const std::unique_ptr<Report> &) {
+        if (!ours.count(hash))
+            foreign = true;
+    });
+    if (foreign) {
+        logf(LogLevel::Info, "result store ", path_, ": holds "
+             "records outside this grid; skipping grid-order "
+             "compaction");
+        return;
+    }
+    if (compressed_) {
+        zwriter_.close();
+        std::string err;
+        stream::StrzWriter rw;
+        if (!rw.open(path_, /*truncate=*/true, &err))
+            fatal("result store: cannot rewrite " + path_ + ": " + err);
+        // Re-batch the per-append one-line chunks into big blocks: the
+        // context model warms up over a whole batch instead of
+        // restarting per record, which is where most of the ratio
+        // comes from.
+        std::string batch;
+        for (const Record &rec : ordered) {
+            batch += recordLine(rec.job, rec.report) + "\n";
+            if (batch.size() >= (1u << 20)) {
+                if (!rw.appendBlock(batch, &err))
+                    fatal("result store " + path_ + ": " + err);
+                batch.clear();
+            }
         }
+        if (!batch.empty() && !rw.appendBlock(batch, &err))
+            fatal("result store " + path_ + ": " + err);
+        rw.close();
+        if (!zwriter_.open(path_, /*truncate=*/false, &err))
+            fatal("result store: cannot reopen " + path_ + ": " + err);
+        return;
     }
     if (file_) {
         std::fclose(file_);

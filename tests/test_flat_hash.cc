@@ -1,0 +1,178 @@
+/**
+ * @file
+ * FlatHashMap (common/flat_hash.hh): the open-addressing table behind
+ * the quantifier profile lookup, the sweep store's hash dedup, and
+ * model-preset resolution. Exercises insert-or-find semantics,
+ * heterogeneous (string_view) probes, robin-hood displacement under
+ * forced collisions, growth across rehashes, and forEach coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.hh"
+
+namespace slinfer
+{
+namespace
+{
+
+TEST(FlatHash, EmplaceInsertsOnceAndFindsByView)
+{
+    FlatHashMap<std::string, int> m;
+    auto [v1, ins1] = m.emplace("alpha", 1);
+    EXPECT_TRUE(ins1);
+    EXPECT_EQ(*v1, 1);
+
+    // Second emplace with the same key is a find, not an overwrite.
+    auto [v2, ins2] = m.emplace("alpha", 99);
+    EXPECT_FALSE(ins2);
+    EXPECT_EQ(*v2, 1);
+    EXPECT_EQ(v1, v2);
+    EXPECT_EQ(m.size(), 1u);
+
+    // Heterogeneous probe: no std::string temporary needed.
+    std::string_view probe("alpha");
+    ASSERT_NE(m.find(probe), nullptr);
+    EXPECT_EQ(*m.find(probe), 1);
+    EXPECT_EQ(m.find(std::string_view("beta")), nullptr);
+}
+
+TEST(FlatHash, GrowsAcrossRehashesWithoutLosingEntries)
+{
+    FlatHashMap<std::string, std::size_t> m;
+    constexpr std::size_t kN = 5000;
+    for (std::size_t i = 0; i < kN; ++i) {
+        auto [v, inserted] = m.emplace("key-" + std::to_string(i), i);
+        ASSERT_TRUE(inserted);
+        ASSERT_EQ(*v, i);
+    }
+    ASSERT_EQ(m.size(), kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        const std::size_t *v = m.find("key-" + std::to_string(i));
+        ASSERT_NE(v, nullptr) << "key-" << i;
+        ASSERT_EQ(*v, i);
+    }
+    EXPECT_EQ(m.find(std::string_view("key-5000")), nullptr);
+}
+
+TEST(FlatHash, ReservePresizesWithoutLosingEntries)
+{
+    // Value *slots* move on insert regardless of reserve (robin-hood
+    // displacement shifts residents) — the pointer-stability contract
+    // lives in the unique_ptr test below. reserve() only promises the
+    // table absorbs `n` entries correctly, pre-sized.
+    FlatHashMap<std::string, int> m;
+    m.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(m.emplace("k" + std::to_string(i), i).second);
+    ASSERT_EQ(m.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        const int *v = m.find("k" + std::to_string(i));
+        ASSERT_NE(v, nullptr) << i;
+        ASSERT_EQ(*v, i);
+    }
+}
+
+TEST(FlatHash, UniquePtrValuesKeepPointeesStableAcrossRehash)
+{
+    // The documented contract for pointer-caching consumers (the
+    // quantifier memo, the sweep store): slots move on rehash, the
+    // heap pointee does not.
+    FlatHashMap<std::string, std::unique_ptr<int>> m;
+    auto [cell, inserted] =
+        m.emplace("pinned", std::make_unique<int>(42));
+    ASSERT_TRUE(inserted);
+    int *pinned = cell->get();
+    for (int i = 0; i < 4000; ++i)
+        m.emplace("filler-" + std::to_string(i),
+                  std::make_unique<int>(i));
+    const std::unique_ptr<int> *found =
+        m.find(std::string_view("pinned"));
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->get(), pinned);
+    EXPECT_EQ(**found, 42);
+}
+
+TEST(FlatHash, PairKeysProbeWithStringViews)
+{
+    FlatHashMap<std::pair<std::string, std::string>, int,
+                FlatStringPairHash, FlatStringPairEq>
+        m;
+    m.emplace({"a100", "llama2-7b"}, 1);
+    m.emplace({"a100", "llama2-13b"}, 2);
+    m.emplace({"h100", "llama2-7b"}, 3);
+
+    auto probe = std::make_pair(std::string_view("a100"),
+                                std::string_view("llama2-13b"));
+    const int *v = m.find(probe);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 2);
+    // Swapped components must NOT collide into a hit.
+    auto swapped = std::make_pair(std::string_view("llama2-13b"),
+                                  std::string_view("a100"));
+    EXPECT_EQ(m.find(swapped), nullptr);
+}
+
+/** All keys land on one home slot: the probe chain and robin-hood
+ *  displacement carry the whole table. */
+struct CollidingHash
+{
+    using is_transparent = void;
+    std::uint64_t
+    operator()(std::string_view) const
+    {
+        return 7;
+    }
+};
+
+TEST(FlatHash, SurvivesFullCollisionChains)
+{
+    FlatHashMap<std::string, int, CollidingHash, FlatStringEq> m;
+    for (int i = 0; i < 300; ++i)
+        m.emplace("c" + std::to_string(i), i);
+    ASSERT_EQ(m.size(), 300u);
+    for (int i = 0; i < 300; ++i) {
+        const int *v = m.find("c" + std::to_string(i));
+        ASSERT_NE(v, nullptr) << i;
+        ASSERT_EQ(*v, i);
+    }
+    EXPECT_EQ(m.find(std::string_view("missing")), nullptr);
+}
+
+TEST(FlatHash, ForEachVisitsEveryEntryExactlyOnce)
+{
+    FlatHashMap<std::string, int> m;
+    for (int i = 0; i < 257; ++i)
+        m.emplace("e" + std::to_string(i), i);
+    std::vector<bool> seen(257, false);
+    std::size_t visits = 0;
+    m.forEach([&](const std::string &k, const int &v) {
+        ASSERT_EQ(k, "e" + std::to_string(v));
+        ASSERT_FALSE(seen[v]);
+        seen[v] = true;
+        ++visits;
+    });
+    EXPECT_EQ(visits, 257u);
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                            [](bool b) { return b; }));
+}
+
+TEST(FlatHash, ClearEmptiesAndAllowsReuse)
+{
+    FlatHashMap<std::string, int> m;
+    m.emplace("x", 1);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(std::string_view("x")), nullptr);
+    auto [v, inserted] = m.emplace("x", 2);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*v, 2);
+}
+
+} // namespace
+} // namespace slinfer

@@ -17,6 +17,8 @@
  *   slinfer_run --scenario=fleet-node-failure --trace=trace.json
  *   slinfer_run --scenario=flash-crowd --timeseries=ts.csv \
  *               --sample-every=1s
+ *   slinfer_run --scenario=azure-64 --stream --lookahead=1024
+ *   slinfer_run --scenario=azure-64 --stream-trace=big.strc --progress
  *
  * Multi-scenario invocations emit the CSV header exactly once; --quiet
  * silences per-run logging for sweep-driven use. (For grids, parallel
@@ -24,6 +26,7 @@
  */
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/proc.hh"
 #include "harness/session.hh"
 #include "scenario/scenario.hh"
 #include "scenario/timeline.hh"
@@ -87,6 +91,24 @@ usage(std::FILE *to)
         "  --timeseries=<file>    live metrics samples, CSV or .json "
         "(single run)\n"
         "  --sample-every=<sec>   timeseries cadence (default: 1s)\n"
+        "  --stream               streaming replay: bounded-lookahead\n"
+        "                         arrival window + request recycling;\n"
+        "                         reports stay byte-identical, peak "
+        "memory\n"
+        "                         becomes independent of trace length\n"
+        "  --lookahead=<n>        streaming window size in arrivals\n"
+        "                         (default: 4096)\n"
+        "  --stream-trace=<file>  replay a packed .strc trace (see\n"
+        "                         slinfer_tracepack) instead of the\n"
+        "                         scenario's arrival process; implies "
+        "--stream\n"
+        "  --materialized         replay --stream-trace through the\n"
+        "                         classic full-vector path instead — "
+        "the\n"
+        "                         byte-identity oracle for CI diffs\n"
+        "  --progress             live progress on stderr: sim-time %%, "
+        "requests\n"
+        "                         replayed, RSS, ETA\n"
         "  --parallel-sim[=<n>]   time-windowed lockstep engine with n\n"
         "                         node-phase threads (default: one per\n"
         "                         core); results are byte-identical at\n"
@@ -189,6 +211,39 @@ parseTraceCats(const std::string &arg)
     return mask;
 }
 
+/** Advance the session to its end in slices, printing one progress
+ *  line per slice to stderr: sim-time %, requests replayed, current
+ *  RSS and a wall-clock ETA. Slicing is pure observation (the stepped-
+ *  advance determinism contract), so the run stays byte-identical to
+ *  an unsliced one. */
+void
+advanceWithProgress(Session &session, const std::string &name)
+{
+    using Clock = std::chrono::steady_clock;
+    const Seconds end = session.duration();
+    const int slices = 200;
+    const Clock::time_point t0 = Clock::now();
+    for (int i = 1; i <= slices; ++i) {
+        session.advanceTo(end * i / slices);
+        double frac = static_cast<double>(i) / slices;
+        double elapsed =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        double eta = frac > 0 ? elapsed / frac - elapsed : 0.0;
+        std::size_t replayed =
+            session.feed()
+                ? static_cast<std::size_t>(session.feed()->replayed())
+                : session.sample().arrived;
+        std::fprintf(stderr,
+                     "\r[%s] t=%.0f/%.0fs (%3.0f%%)  replayed=%zu  "
+                     "rss=%.0f MB  eta=%.0fs ",
+                     name.c_str(), session.now(), end, 100.0 * frac,
+                     replayed,
+                     static_cast<double>(currentRssBytes()) / 1e6, eta);
+        std::fflush(stderr);
+    }
+    std::fputc('\n', stderr);
+}
+
 } // namespace
 
 int
@@ -216,6 +271,11 @@ main(int argc, char **argv)
     double sample_every = 1.0;
     int sim_threads = 0;
     double sim_window = 0.0;
+    bool stream = false;
+    bool materialized = false;
+    std::uint64_t lookahead = 0;
+    std::string stream_trace;
+    bool progress = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -275,6 +335,22 @@ main(int argc, char **argv)
             timeseries_path = value();
         } else if (arg.rfind("--sample-every=", 0) == 0) {
             sample_every = parseSeconds(value(), "--sample-every");
+        } else if (arg == "--stream") {
+            stream = true;
+        } else if (arg.rfind("--lookahead=", 0) == 0) {
+            lookahead = parseCount(value(), "--lookahead");
+            if (lookahead == 0 || lookahead > (1u << 24)) {
+                std::fprintf(stderr,
+                             "--lookahead must be in [1, 2^24]\n");
+                return 2;
+            }
+        } else if (arg.rfind("--stream-trace=", 0) == 0) {
+            stream_trace = value();
+            stream = true;
+        } else if (arg == "--materialized") {
+            materialized = true;
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--parallel-sim") {
             sim_threads = sweep::defaultJobs();
         } else if (arg.rfind("--parallel-sim=", 0) == 0) {
@@ -308,6 +384,13 @@ main(int argc, char **argv)
     }
     if (format != "json" && format != "csv") {
         std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+        return 2;
+    }
+
+    if (materialized && stream_trace.empty()) {
+        std::fprintf(stderr,
+                     "--materialized only applies to a --stream-trace "
+                     "replay\n");
         return 2;
     }
 
@@ -409,13 +492,31 @@ main(int argc, char **argv)
             cfg.simThreads = sim_threads;
             if (sim_window > 0)
                 cfg.simWindow = sim_window;
+            cfg.stream.enabled = stream && !materialized;
+            if (lookahead > 0)
+                cfg.stream.lookahead =
+                    static_cast<std::uint32_t>(lookahead);
+            if (!stream_trace.empty()) {
+                // The packed trace replaces the scenario's arrival
+                // source; models/datasets/SLOs still come from the
+                // scenario, and the metrics window comes from the
+                // file's header.
+                cfg.stream.tracePath = stream_trace;
+                cfg.arrivals.reset();
+                cfg.trace = AzureTrace{};
+                cfg.duration = 0.0;
+            }
             Report report;
-            if (cfg.obs.any()) {
+            if (progress || cfg.obs.any()) {
                 // The stepwise lifecycle keeps the flight recorder
-                // alive for the export below; the run itself is byte-
-                // identical to runExperiment (the PR 5 contract).
+                // alive for the export below and lets --progress slice
+                // the advance; the run itself is byte-identical to
+                // runExperiment (the PR 5 contract).
                 Session session(cfg);
-                session.advanceTo(session.duration());
+                if (progress)
+                    advanceWithProgress(session, sc->name);
+                else
+                    session.advanceTo(session.duration());
                 report = session.finish();
                 obs::FlightRecorder *fr = session.flightRecorder();
                 if (!trace_path.empty()) {

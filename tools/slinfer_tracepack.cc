@@ -1,0 +1,484 @@
+/**
+ * @file
+ * slinfer_tracepack: convert arrival traces to/from the compressed
+ * columnar `.strc` format (stream/codec.hh) that `slinfer_run
+ * --stream-trace` replays under bounded memory.
+ *
+ *   slinfer_tracepack pack --csv=in.csv --out=trace.strc
+ *   slinfer_tracepack pack --scenario=azure-64 --out=trace.strc
+ *   slinfer_tracepack pack --azure=models=64,duration=3600,rpm=260 \
+ *                          --out=big.strc
+ *   slinfer_tracepack unpack --in=trace.strc [--out=trace.csv]
+ *   slinfer_tracepack info trace.strc
+ *   slinfer_tracepack head trace.strc [-n 20]
+ *
+ * CSV rows are `time,model[,input_len,target_output]` (header line and
+ * `#` comments skipped). Lengths are optional; a file packed with them
+ * replays those exact lengths, one packed without samples lengths from
+ * the experiment's dataset config, exactly like a generated trace.
+ * `unpack` prints timestamps with 17 significant digits, so
+ * pack → unpack → pack reproduces the identical record stream
+ * (tests/test_stream.cc holds the codec to bitwise round-trips).
+ *
+ * Exit code: 0 success, 1 I/O or data error, 2 usage error.
+ */
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "scenario/scenario.hh"
+#include "stream/codec.hh"
+#include "workload/azure_trace.hh"
+
+using namespace slinfer;
+
+namespace
+{
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: slinfer_tracepack <command> [options]\n"
+        "commands:\n"
+        "  pack    build a .strc from one input source:\n"
+        "    --csv=<file>        rows: time,model[,input,output]\n"
+        "    --scenario=<name>   expand a catalog scenario's arrivals\n"
+        "    --azure=<k=v,..>    synthetic Azure-style trace; keys:\n"
+        "                        models, duration, rpm (per-model),\n"
+        "                        seed\n"
+        "    --out=<file>        output path (required)\n"
+        "    --seed=<n>          scenario seed override\n"
+        "    --chunk=<n>         records per chunk (default 65536)\n"
+        "    --head=<n>          keep only the first n records\n"
+        "  unpack  decode a .strc back to CSV:\n"
+        "    --in=<file>         input path (required)\n"
+        "    --out=<file>        output path (default stdout)\n"
+        "  info <file>     print header/summary\n"
+        "  head <file> [-n N]   print the first N records (default "
+        "10)\n");
+}
+
+std::uint64_t
+parseCount(const std::string &tok, const char *flag)
+{
+    char *end = nullptr;
+    errno = 0;
+    std::uint64_t v = std::strtoull(tok.c_str(), &end, 10);
+    if (tok.empty() || tok[0] == '-' || errno == ERANGE ||
+        end != tok.c_str() + tok.size()) {
+        std::fprintf(stderr, "%s: malformed value '%s'\n", flag,
+                     tok.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Parse a CSV trace. Returns false after printing the offending
+ *  line. Lengths are all-or-nothing: mixing 2- and 4-column data rows
+ *  is an error (a half-lengthed file cannot replay coherently).
+ *  `# window=<s>` / `# models=<n>` comments (what unpack emits) carry
+ *  the header fields, so pack → unpack → pack is lossless. */
+bool
+loadCsv(const std::string &path, std::vector<stream::TraceRecord> &recs,
+        bool &has_lengths, Seconds &window, std::uint32_t &models)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    int cols_seen = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.rfind("# window=", 0) == 0) {
+            window = std::strtod(line.c_str() + 9, nullptr);
+            continue;
+        }
+        if (line.rfind("# models=", 0) == 0) {
+            models = static_cast<std::uint32_t>(
+                std::strtoul(line.c_str() + 9, nullptr, 10));
+            continue;
+        }
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string cell;
+        std::vector<std::string> cells;
+        while (std::getline(ls, cell, ','))
+            cells.push_back(cell);
+        if (cells.empty())
+            continue;
+        char *end = nullptr;
+        double t = std::strtod(cells[0].c_str(), &end);
+        if (end == cells[0].c_str()) {
+            if (cols_seen == 0 && recs.empty())
+                continue; // header row
+            std::fprintf(stderr, "%s:%d: malformed time '%s'\n",
+                         path.c_str(), lineno, cells[0].c_str());
+            return false;
+        }
+        if (cells.size() != 2 && cells.size() != 4) {
+            std::fprintf(stderr,
+                         "%s:%d: expected 2 or 4 columns, got %zu\n",
+                         path.c_str(), lineno, cells.size());
+            return false;
+        }
+        if (cols_seen == 0)
+            cols_seen = static_cast<int>(cells.size());
+        if (cols_seen != static_cast<int>(cells.size())) {
+            std::fprintf(stderr,
+                         "%s:%d: mixed %d- and %zu-column rows\n",
+                         path.c_str(), lineno, cols_seen, cells.size());
+            return false;
+        }
+        stream::TraceRecord r;
+        r.time = t;
+        r.model = static_cast<std::uint32_t>(
+            parseCount(cells[1], "model column"));
+        if (cells.size() == 4) {
+            r.inputLen = static_cast<std::uint32_t>(
+                parseCount(cells[2], "input column"));
+            r.targetOutput = static_cast<std::uint32_t>(
+                parseCount(cells[3], "output column"));
+        }
+        if (!recs.empty() && r.time < recs.back().time) {
+            std::fprintf(stderr,
+                         "%s:%d: timestamps must be nondecreasing "
+                         "(%.17g after %.17g)\n",
+                         path.c_str(), lineno, r.time,
+                         recs.back().time);
+            return false;
+        }
+        recs.push_back(r);
+    }
+    has_lengths = cols_seen == 4;
+    return true;
+}
+
+/** Parse "--azure=models=64,duration=3600,rpm=260,seed=1". */
+bool
+parseAzureSpec(const std::string &spec, AzureTraceConfig &cfg)
+{
+    std::istringstream in(spec);
+    std::string kv;
+    while (std::getline(in, kv, ',')) {
+        std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+            std::fprintf(stderr, "--azure: malformed '%s'\n",
+                         kv.c_str());
+            return false;
+        }
+        std::string key = kv.substr(0, eq), val = kv.substr(eq + 1);
+        char *end = nullptr;
+        double num = std::strtod(val.c_str(), &end);
+        if (end != val.c_str() + val.size()) {
+            std::fprintf(stderr, "--azure: malformed value '%s'\n",
+                         val.c_str());
+            return false;
+        }
+        if (key == "models")
+            cfg.numModels = static_cast<int>(num);
+        else if (key == "duration")
+            cfg.duration = num;
+        else if (key == "rpm")
+            cfg.perModelRpm = num;
+        else if (key == "seed")
+            cfg.seed = static_cast<std::uint64_t>(num);
+        else {
+            std::fprintf(stderr, "--azure: unknown key '%s'\n",
+                         key.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdPack(const std::vector<std::string> &args)
+{
+    std::string csv_path, scenario_name, azure_spec, out_path;
+    std::uint64_t seed = 0;
+    bool seed_set = false;
+    std::uint32_t chunk = stream::kStrcChunkCap;
+    std::uint64_t head = 0;
+
+    for (const std::string &arg : args) {
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg.rfind("--csv=", 0) == 0)
+            csv_path = value();
+        else if (arg.rfind("--scenario=", 0) == 0)
+            scenario_name = value();
+        else if (arg.rfind("--azure=", 0) == 0)
+            azure_spec = value();
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = value();
+        else if (arg.rfind("--seed=", 0) == 0) {
+            seed = parseCount(value(), "--seed");
+            seed_set = true;
+        } else if (arg.rfind("--chunk=", 0) == 0) {
+            chunk = static_cast<std::uint32_t>(
+                parseCount(value(), "--chunk"));
+            if (chunk == 0) {
+                std::fprintf(stderr, "--chunk must be positive\n");
+                return 2;
+            }
+        } else if (arg.rfind("--head=", 0) == 0) {
+            head = parseCount(value(), "--head");
+        } else {
+            std::fprintf(stderr, "pack: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    int sources = (csv_path.empty() ? 0 : 1) +
+                  (scenario_name.empty() ? 0 : 1) +
+                  (azure_spec.empty() ? 0 : 1);
+    if (sources != 1 || out_path.empty()) {
+        std::fprintf(stderr, "pack: need exactly one of --csv/"
+                             "--scenario/--azure, plus --out\n");
+        return 2;
+    }
+
+    std::vector<stream::TraceRecord> recs;
+    bool has_lengths = false;
+    std::uint32_t num_models = 0;
+    Seconds duration = 0.0;
+
+    if (!csv_path.empty()) {
+        if (!loadCsv(csv_path, recs, has_lengths, duration,
+                     num_models))
+            return 1;
+        for (const auto &r : recs)
+            num_models = std::max(num_models, r.model + 1);
+        if (duration <= 0)
+            duration = recs.empty() ? 0.0 : recs.back().time;
+    } else {
+        AzureTrace trace;
+        if (!scenario_name.empty()) {
+            const scenario::Scenario *sc =
+                scenario::byName(scenario_name);
+            if (!sc) {
+                std::fprintf(stderr, "unknown scenario '%s'\n",
+                             scenario_name.c_str());
+                return 2;
+            }
+            trace = sc->arrivals->generate(seed_set ? seed : sc->seed);
+            num_models = static_cast<std::uint32_t>(sc->models.size());
+        } else {
+            AzureTraceConfig tc;
+            if (seed_set)
+                tc.seed = seed;
+            if (!parseAzureSpec(azure_spec, tc))
+                return 2;
+            trace = generateAzureTrace(tc);
+            num_models = static_cast<std::uint32_t>(tc.numModels);
+        }
+        duration = trace.duration;
+        recs.reserve(trace.arrivals.size());
+        for (const Arrival &a : trace.arrivals) {
+            stream::TraceRecord r;
+            r.time = a.time;
+            r.model = a.model;
+            recs.push_back(r);
+        }
+    }
+    if (head > 0 && recs.size() > head) {
+        recs.resize(head);
+        // The metrics window shrinks with the cut, or the replay would
+        // idle for the whole truncated tail.
+        duration = recs.empty() ? 0.0 : recs.back().time;
+    }
+
+    stream::StrcHeader hdr;
+    hdr.hasLengths = has_lengths;
+    hdr.numModels = num_models;
+    hdr.duration = duration;
+    std::string err;
+    stream::StrcWriter w;
+    if (!w.open(out_path, hdr, &err, chunk)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    for (const auto &r : recs)
+        w.add(r);
+    if (!w.finish(&err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "wrote %s: %zu records, %u models, %.17g s window%s\n",
+                 out_path.c_str(), recs.size(), num_models, duration,
+                 has_lengths ? ", with lengths" : "");
+    return 0;
+}
+
+int
+cmdUnpack(const std::vector<std::string> &args)
+{
+    std::string in_path, out_path;
+    for (const std::string &arg : args) {
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg.rfind("--in=", 0) == 0)
+            in_path = value();
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = value();
+        else {
+            std::fprintf(stderr, "unpack: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (in_path.empty()) {
+        std::fprintf(stderr, "unpack: --in is required\n");
+        return 2;
+    }
+    std::string err;
+    stream::StrcReader rd;
+    if (!rd.open(in_path, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    if (rd.recovered())
+        std::fprintf(stderr,
+                     "%s: torn tail recovered; %" PRIu64 " of %" PRIu64
+                     " records survive\n",
+                     in_path.c_str(), rd.recordCount(),
+                     rd.header().totalRequests);
+
+    std::FILE *out = stdout;
+    if (!out_path.empty()) {
+        out = std::fopen(out_path.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+            return 1;
+        }
+    }
+    bool lengths = rd.header().hasLengths;
+    std::fprintf(out, "# window=%.17g\n# models=%u\n",
+                 rd.header().duration, rd.header().numModels);
+    std::fprintf(out, lengths ? "time,model,input,output\n"
+                              : "time,model\n");
+    stream::TraceRecord r;
+    while (rd.next(r)) {
+        if (lengths)
+            std::fprintf(out, "%.17g,%u,%u,%u\n", r.time, r.model,
+                         r.inputLen, r.targetOutput);
+        else
+            std::fprintf(out, "%.17g,%u\n", r.time, r.model);
+    }
+    if (out != stdout)
+        std::fclose(out);
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    std::string err;
+    stream::StrcReader rd;
+    if (!rd.open(path, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    const stream::StrcHeader &h = rd.header();
+    std::printf("file:        %s\n", path.c_str());
+    std::printf("records:     %" PRIu64 "\n", rd.recordCount());
+    std::printf("models:      %u\n", h.numModels);
+    std::printf("window:      %.17g s\n", h.duration);
+    std::printf("lengths:     %s\n", h.hasLengths ? "yes" : "no");
+    std::printf("payload:     %" PRIu64 " bytes compressed\n",
+                rd.compressedBytes());
+    if (rd.recordCount() > 0)
+        std::printf("bytes/rec:   %.2f\n",
+                    static_cast<double>(rd.compressedBytes()) /
+                        static_cast<double>(rd.recordCount()));
+    std::printf("recovered:   %s\n", rd.recovered() ? "yes (torn tail)"
+                                                    : "no");
+    return 0;
+}
+
+int
+cmdHead(const std::vector<std::string> &args)
+{
+    std::string path;
+    std::uint64_t n = 10;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-n" && i + 1 < args.size())
+            n = parseCount(args[++i], "-n");
+        else if (path.empty())
+            path = args[i];
+        else {
+            std::fprintf(stderr, "head: unexpected argument %s\n",
+                         args[i].c_str());
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "head: file argument required\n");
+        return 2;
+    }
+    std::string err;
+    stream::StrcReader rd;
+    if (!rd.open(path, &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    bool lengths = rd.header().hasLengths;
+    stream::TraceRecord r;
+    for (std::uint64_t i = 0; i < n && rd.next(r); ++i) {
+        if (lengths)
+            std::printf("%.17g,%u,%u,%u\n", r.time, r.model,
+                        r.inputLen, r.targetOutput);
+        else
+            std::printf("%.17g,%u\n", r.time, r.model);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(stderr);
+        return 2;
+    }
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "--help" || cmd == "-h") {
+        usage(stdout);
+        return 0;
+    }
+    if (cmd == "pack")
+        return cmdPack(args);
+    if (cmd == "unpack")
+        return cmdUnpack(args);
+    if (cmd == "info") {
+        if (args.size() != 1) {
+            std::fprintf(stderr, "info: one file argument required\n");
+            return 2;
+        }
+        return cmdInfo(args[0]);
+    }
+    if (cmd == "head")
+        return cmdHead(args);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    usage(stderr);
+    return 2;
+}
